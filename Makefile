@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build test test-short cover bench experiments experiments-quick vet fmt clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure from the paper at full fidelity.
+experiments:
+	$(GO) run ./cmd/qb5000bench -exp all
+
+experiments-quick:
+	$(GO) run ./cmd/qb5000bench -exp all -quick
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,164 @@
+// Benchmarks regenerating the paper's tables and figures (one per
+// artifact; see DESIGN.md for the experiment index) plus micro-benchmarks
+// for the pipeline's hot paths. The experiment benchmarks run in quick mode
+// so a full `go test -bench=. -benchmem` pass completes in minutes; run
+// `go run ./cmd/qb5000bench -exp all` for the full-fidelity reports.
+package qb5000
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"testing"
+	"time"
+
+	"qb5000/internal/experiments"
+	"qb5000/internal/forecast"
+	"qb5000/internal/mat"
+	"qb5000/internal/preprocess"
+	"qb5000/internal/workload"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(id, experiments.Options{Quick: true, Seed: 1}, io.Discard); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+func BenchmarkTable1Workloads(b *testing.B)       { benchExperiment(b, "table1") }
+func BenchmarkTable2Reduction(b *testing.B)       { benchExperiment(b, "table2") }
+func BenchmarkTable3Properties(b *testing.B)      { benchExperiment(b, "table3") }
+func BenchmarkTable4Overhead(b *testing.B)        { benchExperiment(b, "table4") }
+func BenchmarkFig1Patterns(b *testing.B)          { benchExperiment(b, "fig1") }
+func BenchmarkFig3ClusterHistory(b *testing.B)    { benchExperiment(b, "fig3") }
+func BenchmarkFig5Coverage(b *testing.B)          { benchExperiment(b, "fig5") }
+func BenchmarkFig6ClusterChange(b *testing.B)     { benchExperiment(b, "fig6") }
+func BenchmarkFig7Forecast(b *testing.B)          { benchExperiment(b, "fig7") }
+func BenchmarkFig8ActualVsPredicted(b *testing.B) { benchExperiment(b, "fig8") }
+func BenchmarkFig9Spikes(b *testing.B)            { benchExperiment(b, "fig9") }
+func BenchmarkFig10Intervals(b *testing.B)        { benchExperiment(b, "fig10") }
+func BenchmarkFig11IndexSelection(b *testing.B)   { benchExperiment(b, "fig11") }
+func BenchmarkFig12IndexSelection(b *testing.B)   { benchExperiment(b, "fig12") }
+func BenchmarkFig13RhoCoverage(b *testing.B)      { benchExperiment(b, "fig13") }
+func BenchmarkFig14RhoAccuracy(b *testing.B)      { benchExperiment(b, "fig14") }
+func BenchmarkFig15PCA(b *testing.B)              { benchExperiment(b, "fig15") }
+func BenchmarkFig16Gamma(b *testing.B)            { benchExperiment(b, "fig16") }
+func BenchmarkFig17Noisy(b *testing.B)            { benchExperiment(b, "fig17") }
+
+// --- Micro-benchmarks for the pipeline's hot paths. ---
+
+// BenchmarkTemplatize measures the Pre-Processor's per-query cost (the
+// paper's Table 4 reports ~0.05 ms/query).
+func BenchmarkTemplatize(b *testing.B) {
+	queries := []string{
+		"SELECT s.id, s.name FROM stops s WHERE s.lat BETWEEN 40.1 AND 40.2 AND s.lon BETWEEN -80.0 AND -79.9",
+		"INSERT INTO bus_locations (bus_id, lat, lon, reported_at) VALUES (17, 40.45, -79.99, 1512086400)",
+		"UPDATE applications SET status = 'submitted', submitted_at = 1512086400 WHERE id = 8231",
+		"SELECT o.user_id, COUNT(*), SUM(o.amount) FROM orders o WHERE o.status = 'paid' GROUP BY o.user_id HAVING COUNT(*) > 3",
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := preprocess.Templatize(queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPreprocessorIngest measures end-to-end ingestion including
+// history recording and reservoir sampling.
+func BenchmarkPreprocessorIngest(b *testing.B) {
+	p := preprocess.New(preprocess.Options{Seed: 1})
+	at := time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sql := fmt.Sprintf("SELECT a FROM t WHERE x = %d", i)
+		if _, err := p.Process(sql, at.Add(time.Duration(i)*time.Second)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLRFit measures the closed-form model fit the controller runs on
+// every retrain (Table 4: LR train time).
+func BenchmarkLRFit(b *testing.B) {
+	hist := benchHistory(24*21, 3)
+	cfg := forecast.Config{Lag: 24, Horizon: 1, Outputs: 3, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := forecast.NewLR(cfg, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Fit(hist); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKRPredict measures one kernel-regression prediction over a large
+// retained training set (Table 4: KR test time).
+func BenchmarkKRPredict(b *testing.B) {
+	hist := benchHistory(24*60, 3)
+	cfg := forecast.Config{Lag: 24, Horizon: 1, Outputs: 3, Seed: 1}
+	m, err := forecast.NewKR(cfg, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Fit(hist); err != nil {
+		b.Fatal(err)
+	}
+	recent := mat.New(24, 3)
+	for i := range recent.Data {
+		recent.Data[i] = 2
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Predict(recent); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRNNFitEpoch measures LSTM training cost (Table 4: RNN train
+// time dominates the pipeline).
+func BenchmarkRNNFitEpoch(b *testing.B) {
+	hist := benchHistory(24*14, 3)
+	for i := 0; i < b.N; i++ {
+		cfg := forecast.Config{Lag: 24, Horizon: 1, Outputs: 3, Seed: 1, Epochs: 1}
+		m, err := forecast.NewRNN(cfg, 0, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Fit(hist); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplayIngest measures full trace replay through the public API.
+func BenchmarkReplayIngest(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := New(Config{Model: "LR", Seed: 1})
+		w := workload.BusTracker(1)
+		err := w.Replay(w.Start, w.Start.Add(24*time.Hour), 10*time.Minute, func(ev workload.Event) error {
+			return f.ObserveBatch(ev.SQL, ev.At, ev.Count)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchHistory(rows, cols int) *mat.Matrix {
+	m := mat.New(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, 3+float64(j)+2*math.Sin(2*math.Pi*float64(i)/24))
+		}
+	}
+	return m
+}

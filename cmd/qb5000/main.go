@@ -1,0 +1,229 @@
+// Command qb5000 is an interactive workload-forecasting controller: it
+// ingests a query trace (a trace file, or a generated synthetic trace), runs
+// the QB5000 pipeline, and prints the template catalog, cluster assignments,
+// and arrival-rate forecasts.
+//
+// Usage:
+//
+//	qb5000 -trace queries.log -horizon 1h
+//	qb5000 -workload bustracker -days 10 -horizon 1h -model ENSEMBLE
+//	qb5000 -workload admissions -days 7 -dump admissions.log   # export a trace
+//
+// Trace lines are "timestamp<TAB>SQL" or "timestamp<TAB>count<TAB>SQL" with
+// RFC3339 timestamps (see internal/tracefile):
+//
+//	2018-01-02T15:04:05Z	SELECT * FROM foo WHERE id = 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"qb5000"
+	"qb5000/internal/tracefile"
+	"qb5000/internal/workload"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "query trace file (timestamp<TAB>[count<TAB>]SQL per line)")
+		wlName    = flag.String("workload", "", "generate a synthetic trace: admissions|bustracker|mooc|noisy")
+		days      = flag.Int("days", 10, "days of synthetic trace to replay")
+		dump      = flag.String("dump", "", "write the synthetic trace to this file instead of analyzing it")
+		horizon   = flag.Duration("horizon", time.Hour, "prediction horizon")
+		model     = flag.String("model", "LR", "forecast model: LR|KR|ARMA|FNN|RNN|PSRNN|ENSEMBLE|HYBRID")
+		seed      = flag.Int64("seed", 1, "random seed")
+		topN      = flag.Int("top", 10, "templates to print")
+		savePath  = flag.String("save", "", "write a catalog snapshot to this file after ingesting")
+		loadPath  = flag.String("load", "", "restore the catalog from a snapshot before ingesting")
+	)
+	flag.Parse()
+
+	if *dump != "" {
+		if *wlName == "" {
+			fatal(fmt.Errorf("-dump requires -workload"))
+		}
+		if err := dumpTrace(*wlName, *seed, *days, *dump); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *dump)
+		return
+	}
+
+	cfg := qb5000.Config{
+		Model:    *model,
+		Horizons: []time.Duration{*horizon},
+		Seed:     *seed,
+	}
+	var f *qb5000.Forecaster
+	if *loadPath != "" {
+		file, err := os.Open(*loadPath)
+		if err != nil {
+			fatal(err)
+		}
+		f, err = qb5000.Load(cfg, file)
+		file.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		f = qb5000.New(cfg)
+	}
+
+	var last time.Time
+	switch {
+	case *tracePath != "":
+		var err error
+		last, err = ingestFile(f, *tracePath)
+		if err != nil {
+			fatal(err)
+		}
+	case *wlName != "":
+		wl := pick(*wlName, *seed)
+		if wl == nil {
+			fatal(fmt.Errorf("unknown workload %q", *wlName))
+		}
+		to := wl.Start.Add(time.Duration(*days) * 24 * time.Hour)
+		if to.After(wl.End) {
+			to = wl.End
+		}
+		err := wl.Replay(wl.Start, to, 5*time.Minute, func(ev workload.Event) error {
+			return f.ObserveBatch(ev.SQL, ev.At, ev.Count)
+		})
+		if err != nil {
+			fatal(err)
+		}
+		last = to
+	default:
+		if *loadPath == "" {
+			flag.Usage()
+			os.Exit(2)
+		}
+		last = latestSeen(f)
+	}
+
+	if *savePath != "" {
+		file, err := os.Create(*savePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := f.Save(file); err != nil {
+			fatal(err)
+		}
+		if err := file.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("snapshot written to %s\n", *savePath)
+	}
+
+	if err := f.Maintain(last); err != nil {
+		fatal(err)
+	}
+
+	st := f.Stats()
+	fmt.Printf("queries: %d   templates: %d   clusters: %d   tracked: %d   parse errors: %d\n\n",
+		st.TotalQueries, st.Templates, st.Clusters, st.TrackedClusters, st.ParseErrors)
+
+	fmt.Printf("top templates:\n")
+	ts := f.Templates()
+	for i, t := range ts {
+		if i >= *topN {
+			break
+		}
+		fmt.Printf("  [%4d] %9d calls  %.90s\n", t.ID, t.Count, t.SQL)
+	}
+	fmt.Println()
+
+	preds, err := f.Forecast(*horizon)
+	if err != nil {
+		fatal(fmt.Errorf("forecast: %w (not enough history for the chosen horizon?)", err))
+	}
+	fmt.Printf("forecast %v ahead (per prediction interval):\n", *horizon)
+	for _, p := range preds {
+		fmt.Printf("  cluster %d: %.1f queries/template (%d templates, total %.1f)\n",
+			p.ClusterID, p.PerTemplateRate, len(p.Templates), p.TotalRate)
+		for i, sql := range p.Templates {
+			if i >= 3 {
+				fmt.Printf("      … and %d more\n", len(p.Templates)-3)
+				break
+			}
+			fmt.Printf("      %.80s\n", sql)
+		}
+	}
+}
+
+func dumpTrace(name string, seed int64, days int, path string) error {
+	wl := pick(name, seed)
+	if wl == nil {
+		return fmt.Errorf("unknown workload %q", name)
+	}
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	tw := tracefile.NewWriter(file)
+	to := wl.Start.Add(time.Duration(days) * 24 * time.Hour)
+	if to.After(wl.End) {
+		to = wl.End
+	}
+	err = wl.Replay(wl.Start, to, 5*time.Minute, func(ev workload.Event) error {
+		return tw.Write(tracefile.Entry{At: ev.At, Count: ev.Count, SQL: ev.SQL})
+	})
+	if err != nil {
+		return err
+	}
+	return tw.Flush()
+}
+
+func ingestFile(f *qb5000.Forecaster, path string) (time.Time, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return time.Time{}, err
+	}
+	defer file.Close()
+	var last time.Time
+	err = tracefile.Read(file, func(e tracefile.Entry) error {
+		if err := f.ObserveBatch(e.SQL, e.At, e.Count); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: %s: %v\n", path, err)
+			return nil
+		}
+		if e.At.After(last) {
+			last = e.At
+		}
+		return nil
+	})
+	return last, err
+}
+
+// latestSeen recovers the newest observation timestamp from the catalog.
+func latestSeen(f *qb5000.Forecaster) time.Time {
+	var last time.Time
+	for _, t := range f.Templates() {
+		if t.LastSeen.After(last) {
+			last = t.LastSeen
+		}
+	}
+	return last
+}
+
+func pick(name string, seed int64) *workload.Workload {
+	switch name {
+	case "admissions":
+		return workload.Admissions(seed)
+	case "bustracker":
+		return workload.BusTracker(seed)
+	case "mooc":
+		return workload.MOOC(seed)
+	case "noisy":
+		return workload.Noisy(seed)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "qb5000: %v\n", err)
+	os.Exit(1)
+}

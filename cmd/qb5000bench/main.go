@@ -1,0 +1,56 @@
+// Command qb5000bench regenerates the tables and figures from the paper's
+// evaluation on the synthetic traces.
+//
+// Usage:
+//
+//	qb5000bench -list                 # list experiment IDs
+//	qb5000bench -exp fig7             # run one experiment
+//	qb5000bench -exp all              # run everything
+//	qb5000bench -exp fig7 -quick      # smaller spans / fewer epochs
+//	qb5000bench -exp fig9 -seed 7     # change the trace seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"qb5000/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment ID to run, or 'all'")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		quick = flag.Bool("quick", false, "shrink spans and training effort")
+		seed  = flag.Int64("seed", 1, "trace generator seed")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, id := range experiments.IDs() {
+			desc, _ := experiments.Describe(id)
+			fmt.Printf("  %-8s %s\n", id, desc)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nrun with -exp <id> or -exp all")
+		}
+		return
+	}
+
+	opt := experiments.Options{Seed: *seed, Quick: *quick}
+	start := time.Now()
+	var err error
+	if *exp == "all" {
+		err = experiments.RunAll(opt, os.Stdout)
+	} else {
+		err = experiments.Run(*exp, opt, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qb5000bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("(%s in %s)\n", *exp, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,64 @@
+// Command qb5000d runs QB5000 as an external controller daemon (paper §3):
+// the target DBMS (or a log shipper) POSTs executed queries to /observe, a
+// background loop periodically re-clusters and retrains, and the planning
+// module GETs /forecast for predicted arrival rates.
+//
+// Usage:
+//
+//	qb5000d -addr :8500 -horizon 1h -model ENSEMBLE -maintain-every 1h
+//
+// Then:
+//
+//	printf '2018-01-02T15:04:05Z\tSELECT * FROM t WHERE id = 7\n' | \
+//	    curl -s --data-binary @- localhost:8500/observe
+//	curl -s -X POST localhost:8500/maintain
+//	curl -s 'localhost:8500/forecast?horizon=1h'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"qb5000"
+	"qb5000/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8500", "listen address")
+		horizon  = flag.Duration("horizon", time.Hour, "prediction horizon to train")
+		model    = flag.String("model", "HYBRID", "forecast model family")
+		seed     = flag.Int64("seed", 1, "random seed")
+		loadPath = flag.String("load", "", "restore the catalog from a snapshot at startup")
+	)
+	flag.Parse()
+
+	cfg := qb5000.Config{
+		Model:    *model,
+		Horizons: []time.Duration{*horizon},
+		Seed:     *seed,
+	}
+	var f *qb5000.Forecaster
+	if *loadPath != "" {
+		file, err := os.Open(*loadPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err = qb5000.Load(cfg, file)
+		file.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("restored %d templates from %s", f.Stats().Templates, *loadPath)
+	} else {
+		f = qb5000.New(cfg)
+	}
+
+	srv := server.New(f)
+	fmt.Printf("qb5000d listening on %s (model=%s, horizon=%v)\n", *addr, *model, *horizon)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

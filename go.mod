@@ -1,0 +1,3 @@
+module qb5000
+
+go 1.22

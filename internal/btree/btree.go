@@ -1,0 +1,225 @@
+// Package btree implements an in-memory B+Tree keyed by an arbitrary
+// ordered key type. The embedded relational engine uses it for secondary
+// indexes: leaves map keys to row-ID postings, and range scans walk the
+// linked leaf level.
+package btree
+
+// degree is the maximum number of keys per node; chosen so nodes stay within
+// a couple of cache lines for integer keys.
+const degree = 32
+
+// Tree is a B+Tree from K to a posting list of int64 row IDs. Duplicate keys
+// are supported: each key holds a list of row IDs.
+type Tree[K any] struct {
+	less func(a, b K) bool
+	root node[K]
+	size int // number of (key, rowID) pairs
+}
+
+type node[K any] interface {
+	isLeaf() bool
+}
+
+type leaf[K any] struct {
+	keys     []K
+	postings [][]int64
+	next     *leaf[K]
+}
+
+func (*leaf[K]) isLeaf() bool { return true }
+
+type inner[K any] struct {
+	keys     []K       // separator keys; child[i] holds keys < keys[i]
+	children []node[K] // len == len(keys)+1
+}
+
+func (*inner[K]) isLeaf() bool { return false }
+
+// New creates a tree ordered by less.
+func New[K any](less func(a, b K) bool) *Tree[K] {
+	return &Tree[K]{less: less, root: &leaf[K]{}}
+}
+
+// Len returns the number of (key, rowID) entries.
+func (t *Tree[K]) Len() int { return t.size }
+
+func (t *Tree[K]) eq(a, b K) bool { return !t.less(a, b) && !t.less(b, a) }
+
+// searchLeaf descends to the leaf that should contain key, recording the
+// path for splits.
+func (t *Tree[K]) searchLeaf(key K) (*leaf[K], []*inner[K], []int) {
+	var parents []*inner[K]
+	var idxs []int
+	n := t.root
+	for !n.isLeaf() {
+		in := n.(*inner[K])
+		i := t.lowerBound(in.keys, key)
+		// Children i holds keys < keys[i]; equal keys go right.
+		for i < len(in.keys) && t.eq(in.keys[i], key) {
+			i++
+		}
+		parents = append(parents, in)
+		idxs = append(idxs, i)
+		n = in.children[i]
+	}
+	return n.(*leaf[K]), parents, idxs
+}
+
+// lowerBound returns the first index with keys[i] >= key.
+func (t *Tree[K]) lowerBound(keys []K, key K) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.less(keys[mid], key) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Insert adds rowID under key.
+func (t *Tree[K]) Insert(key K, rowID int64) {
+	lf, parents, idxs := t.searchLeaf(key)
+	i := t.lowerBound(lf.keys, key)
+	if i < len(lf.keys) && t.eq(lf.keys[i], key) {
+		lf.postings[i] = append(lf.postings[i], rowID)
+		t.size++
+		return
+	}
+	lf.keys = append(lf.keys, key)
+	copy(lf.keys[i+1:], lf.keys[i:])
+	lf.keys[i] = key
+	lf.postings = append(lf.postings, nil)
+	copy(lf.postings[i+1:], lf.postings[i:])
+	lf.postings[i] = []int64{rowID}
+	t.size++
+	if len(lf.keys) > degree {
+		t.splitLeaf(lf, parents, idxs)
+	}
+}
+
+func (t *Tree[K]) splitLeaf(lf *leaf[K], parents []*inner[K], idxs []int) {
+	mid := len(lf.keys) / 2
+	right := &leaf[K]{
+		keys:     append([]K(nil), lf.keys[mid:]...),
+		postings: append([][]int64(nil), lf.postings[mid:]...),
+		next:     lf.next,
+	}
+	lf.keys = lf.keys[:mid:mid]
+	lf.postings = lf.postings[:mid:mid]
+	lf.next = right
+	t.insertIntoParent(right.keys[0], lf, right, parents, idxs)
+}
+
+func (t *Tree[K]) insertIntoParent(sep K, left, right node[K], parents []*inner[K], idxs []int) {
+	if len(parents) == 0 {
+		t.root = &inner[K]{keys: []K{sep}, children: []node[K]{left, right}}
+		return
+	}
+	p := parents[len(parents)-1]
+	i := idxs[len(idxs)-1]
+	p.keys = append(p.keys, sep)
+	copy(p.keys[i+1:], p.keys[i:])
+	p.keys[i] = sep
+	p.children = append(p.children, nil)
+	copy(p.children[i+2:], p.children[i+1:])
+	p.children[i+1] = right
+	if len(p.keys) > degree {
+		t.splitInner(p, parents[:len(parents)-1], idxs[:len(idxs)-1])
+	}
+}
+
+func (t *Tree[K]) splitInner(in *inner[K], parents []*inner[K], idxs []int) {
+	mid := len(in.keys) / 2
+	sep := in.keys[mid]
+	right := &inner[K]{
+		keys:     append([]K(nil), in.keys[mid+1:]...),
+		children: append([]node[K](nil), in.children[mid+1:]...),
+	}
+	in.keys = in.keys[:mid:mid]
+	in.children = in.children[: mid+1 : mid+1]
+	t.insertIntoParent(sep, in, right, parents, idxs)
+}
+
+// Delete removes one (key, rowID) pair; it reports whether the pair existed.
+// Underflowed nodes are left in place (lazy deletion), which keeps the tree
+// valid; workloads here are insert-heavy so rebalancing on delete is not
+// worth its complexity.
+func (t *Tree[K]) Delete(key K, rowID int64) bool {
+	lf, _, _ := t.searchLeaf(key)
+	i := t.lowerBound(lf.keys, key)
+	if i >= len(lf.keys) || !t.eq(lf.keys[i], key) {
+		return false
+	}
+	post := lf.postings[i]
+	for j, id := range post {
+		if id == rowID {
+			post = append(post[:j], post[j+1:]...)
+			t.size--
+			if len(post) == 0 {
+				lf.keys = append(lf.keys[:i], lf.keys[i+1:]...)
+				lf.postings = append(lf.postings[:i], lf.postings[i+1:]...)
+			} else {
+				lf.postings[i] = post
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup returns the row IDs stored under key.
+func (t *Tree[K]) Lookup(key K) []int64 {
+	lf, _, _ := t.searchLeaf(key)
+	i := t.lowerBound(lf.keys, key)
+	if i < len(lf.keys) && t.eq(lf.keys[i], key) {
+		return lf.postings[i]
+	}
+	return nil
+}
+
+// Range invokes fn for every (key, rowID) with lo <= key <= hi, in key
+// order. A nil lo starts at the smallest key; a nil hi ends at the largest.
+// fn returning false stops the scan.
+func (t *Tree[K]) Range(lo, hi *K, fn func(key K, rowID int64) bool) {
+	var lf *leaf[K]
+	var i int
+	if lo != nil {
+		lf, _, _ = t.searchLeaf(*lo)
+		i = t.lowerBound(lf.keys, *lo)
+	} else {
+		n := t.root
+		for !n.isLeaf() {
+			n = n.(*inner[K]).children[0]
+		}
+		lf = n.(*leaf[K])
+	}
+	for lf != nil {
+		for ; i < len(lf.keys); i++ {
+			if hi != nil && t.less(*hi, lf.keys[i]) {
+				return
+			}
+			for _, id := range lf.postings[i] {
+				if !fn(lf.keys[i], id) {
+					return
+				}
+			}
+		}
+		lf = lf.next
+		i = 0
+	}
+}
+
+// Height returns the tree height (1 for a lone leaf); the engine's cost
+// model charges one page touch per level on an index probe.
+func (t *Tree[K]) Height() int {
+	h := 1
+	n := t.root
+	for !n.isLeaf() {
+		h++
+		n = n.(*inner[K]).children[0]
+	}
+	return h
+}

@@ -1,0 +1,176 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func intTree() *Tree[int] {
+	return New[int](func(a, b int) bool { return a < b })
+}
+
+func TestInsertLookup(t *testing.T) {
+	tr := intTree()
+	tr.Insert(5, 100)
+	tr.Insert(5, 101) // duplicate key, second row
+	tr.Insert(3, 102)
+	if got := tr.Lookup(5); len(got) != 2 {
+		t.Fatalf("Lookup(5) = %v", got)
+	}
+	if got := tr.Lookup(4); got != nil {
+		t.Fatalf("Lookup(4) = %v", got)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := intTree()
+	tr.Insert(1, 10)
+	tr.Insert(1, 11)
+	if !tr.Delete(1, 10) {
+		t.Fatal("Delete existing pair failed")
+	}
+	if tr.Delete(1, 10) {
+		t.Fatal("double delete succeeded")
+	}
+	if got := tr.Lookup(1); len(got) != 1 || got[0] != 11 {
+		t.Fatalf("Lookup after delete = %v", got)
+	}
+	if !tr.Delete(1, 11) {
+		t.Fatal("delete last posting failed")
+	}
+	if got := tr.Lookup(1); got != nil {
+		t.Fatalf("key should be gone: %v", got)
+	}
+	if tr.Delete(99, 0) {
+		t.Fatal("delete of absent key succeeded")
+	}
+}
+
+func TestAgainstReferenceMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tr := intTree()
+	ref := make(map[int]map[int64]bool)
+	for op := 0; op < 20000; op++ {
+		k := rng.Intn(500)
+		id := int64(rng.Intn(20))
+		if rng.Intn(3) == 0 {
+			had := ref[k][id]
+			got := tr.Delete(k, id)
+			if got != had {
+				t.Fatalf("Delete(%d,%d) = %v, want %v", k, id, got, had)
+			}
+			if had {
+				delete(ref[k], id)
+			}
+		} else {
+			if ref[k][id] {
+				continue // tree allows duplicate pairs; reference doesn't model that
+			}
+			tr.Insert(k, id)
+			if ref[k] == nil {
+				ref[k] = make(map[int64]bool)
+			}
+			ref[k][id] = true
+		}
+	}
+	want := 0
+	for k, ids := range ref {
+		got := tr.Lookup(k)
+		if len(got) != len(ids) {
+			t.Fatalf("Lookup(%d) = %v, want %d entries", k, got, len(ids))
+		}
+		for _, id := range got {
+			if !ids[id] {
+				t.Fatalf("Lookup(%d) returned unexpected id %d", k, id)
+			}
+		}
+		want += len(ids)
+	}
+	if tr.Len() != want {
+		t.Fatalf("Len = %d, want %d", tr.Len(), want)
+	}
+}
+
+func TestRangeOrderAndBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	tr := intTree()
+	var keys []int
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		k := rng.Intn(10000)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		keys = append(keys, k)
+		tr.Insert(k, int64(k))
+	}
+	sort.Ints(keys)
+
+	lo, hi := 2000, 7000
+	var got []int
+	tr.Range(&lo, &hi, func(k int, id int64) bool {
+		got = append(got, k)
+		return true
+	})
+	var want []int
+	for _, k := range keys {
+		if k >= lo && k <= hi {
+			want = append(want, k)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Range returned %d keys, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range order mismatch at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+
+	// Unbounded scans.
+	count := 0
+	tr.Range(nil, nil, func(int, int64) bool { count++; return true })
+	if count != len(keys) {
+		t.Fatalf("full Range visited %d, want %d", count, len(keys))
+	}
+
+	// Early stop.
+	count = 0
+	tr.Range(nil, nil, func(int, int64) bool { count++; return count < 5 })
+	if count != 5 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestHeightGrows(t *testing.T) {
+	tr := intTree()
+	if tr.Height() != 1 {
+		t.Fatalf("empty height = %d", tr.Height())
+	}
+	for i := 0; i < 5000; i++ {
+		tr.Insert(i, int64(i))
+	}
+	if h := tr.Height(); h < 2 || h > 6 {
+		t.Fatalf("height = %d after 5000 inserts", h)
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	tr := New[string](func(a, b string) bool { return a < b })
+	tr.Insert("banana", 1)
+	tr.Insert("apple", 2)
+	tr.Insert("cherry", 3)
+	var got []string
+	tr.Range(nil, nil, func(k string, _ int64) bool {
+		got = append(got, k)
+		return true
+	})
+	if got[0] != "apple" || got[2] != "cherry" {
+		t.Fatalf("order = %v", got)
+	}
+}

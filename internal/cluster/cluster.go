@@ -1,0 +1,516 @@
+// Package cluster implements QB5000's Clusterer (paper §5): an on-line
+// variant of DBSCAN that groups query templates whose arrival-rate histories
+// follow similar patterns, so a single forecasting model can cover each
+// group.
+//
+// Unlike canonical DBSCAN, membership is decided against the cluster
+// *center* (the arithmetic average of member features) rather than any core
+// object, because the forecaster trains on the center. Each update period
+// the clusterer runs three steps (Figure 4):
+//
+//  1. assign new templates to the closest center if similarity > ρ,
+//     otherwise open a new cluster;
+//  2. evict members whose similarity to their center dropped below ρ and
+//     re-run step 1 on them (cascading moves are deferred to the next
+//     period, so convergence is not guaranteed — matching the paper);
+//  3. merge cluster pairs whose centers are more similar than ρ.
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"qb5000/internal/kdtree"
+	"qb5000/internal/mat"
+	"qb5000/internal/preprocess"
+	"qb5000/internal/timeseries"
+)
+
+// FeatureMode selects which template representation drives clustering.
+type FeatureMode int
+
+const (
+	// ArrivalRate clusters on sampled arrival-rate history vectors with
+	// cosine similarity (the paper's approach, §5.1).
+	ArrivalRate FeatureMode = iota
+	// Logical clusters on the logical query-structure vector with an
+	// L2-derived similarity (the AUTO-LOGICAL baseline, §7.7).
+	Logical
+)
+
+// Options configure the clusterer.
+type Options struct {
+	// Rho is the similarity threshold ρ ∈ [0,1]; higher values demand more
+	// similar members. The paper settles on 0.8 (Appendix A).
+	Rho float64
+	// FeatureSize is the number of sampled time points forming the arrival
+	// feature vector. The paper uses 10k points over the trailing month;
+	// the default here is 2048, which preserves the patterns at the scale
+	// of the synthetic traces.
+	FeatureSize int
+	// FeatureWindow is how far back the sampled time points reach.
+	FeatureWindow time.Duration
+	// Seed drives timestamp sampling.
+	Seed int64
+	// Mode selects arrival-rate (default) or logical features.
+	Mode FeatureMode
+}
+
+// DefaultOptions mirror the paper's operating point.
+func DefaultOptions() Options {
+	return Options{
+		Rho:           0.8,
+		FeatureSize:   2048,
+		FeatureWindow: timeseries.DefaultFineWindow,
+		Seed:          1,
+	}
+}
+
+// Cluster is a group of templates with similar arrival behaviour.
+type Cluster struct {
+	ID      int64
+	Members map[int64]*preprocess.Template
+	// center is the average of member feature vectors (unnormalized).
+	center []float64
+}
+
+// Size returns the number of member templates.
+func (c *Cluster) Size() int { return len(c.Members) }
+
+// MemberIDs returns the sorted member template IDs.
+func (c *Cluster) MemberIDs() []int64 {
+	out := make([]int64, 0, len(c.Members))
+	for id := range c.Members {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clusterer maintains the template → cluster mapping incrementally.
+type Clusterer struct {
+	opts       Options
+	rng        *rand.Rand
+	clusters   map[int64]*Cluster
+	assignment map[int64]int64 // template ID → cluster ID
+	nextID     int64
+
+	// Per-update state.
+	stamps   []time.Time
+	features map[int64][]float64
+}
+
+// New creates a Clusterer.
+func New(opts Options) *Clusterer {
+	if opts.Rho == 0 {
+		opts.Rho = 0.8
+	}
+	if opts.FeatureSize == 0 {
+		opts.FeatureSize = 2048
+	}
+	if opts.FeatureWindow == 0 {
+		opts.FeatureWindow = timeseries.DefaultFineWindow
+	}
+	return &Clusterer{
+		opts:       opts,
+		rng:        rand.New(rand.NewSource(opts.Seed)),
+		clusters:   make(map[int64]*Cluster),
+		assignment: make(map[int64]int64),
+	}
+}
+
+// UpdateResult summarizes one clustering pass.
+type UpdateResult struct {
+	// Assigned counts templates newly placed into clusters.
+	Assigned int
+	// Moved counts templates evicted from one cluster and re-placed.
+	Moved int
+	// Merged counts cluster merges performed.
+	Merged int
+	// Removed counts templates dropped because they no longer exist in the
+	// catalog.
+	Removed int
+	// Changed reports whether any assignment changed; the forecaster
+	// retrains its models when it did (§3).
+	Changed bool
+}
+
+// Update runs the three incremental steps against the current catalog at
+// time now. Templates absent from the slice are dropped from their clusters.
+func (c *Clusterer) Update(now time.Time, templates []*preprocess.Template) UpdateResult {
+	var res UpdateResult
+
+	live := make(map[int64]*preprocess.Template, len(templates))
+	for _, t := range templates {
+		live[t.ID] = t
+	}
+
+	// Drop templates that were evicted from the catalog.
+	for id, cid := range c.assignment {
+		if _, ok := live[id]; ok {
+			continue
+		}
+		c.removeMember(cid, id)
+		delete(c.assignment, id)
+		res.Removed++
+		res.Changed = true
+	}
+
+	// Compute this round's features for every live template.
+	c.computeFeatures(now, templates)
+	for _, cl := range c.clusters {
+		c.recomputeCenter(cl)
+	}
+
+	// Step 2: evict members that drifted away from their center.
+	var unassigned []*preprocess.Template
+	seen := make(map[int64]bool)
+	for _, t := range templates {
+		cid, ok := c.assignment[t.ID]
+		if !ok {
+			unassigned = append(unassigned, t)
+			continue
+		}
+		seen[t.ID] = true
+		cl := c.clusters[cid]
+		if c.similarity(c.features[t.ID], cl.center) < c.opts.Rho {
+			c.removeMember(cid, t.ID)
+			delete(c.assignment, t.ID)
+			unassigned = append(unassigned, t)
+			res.Moved++
+			res.Changed = true
+		}
+	}
+
+	// Step 1: place new and evicted templates near the closest center.
+	tree := c.buildTree()
+	for _, t := range unassigned {
+		feat := c.features[t.ID]
+		cid, ok := c.nearestCluster(tree, feat)
+		if ok && c.similarity(feat, c.clusters[cid].center) >= c.opts.Rho {
+			c.addMember(cid, t)
+			// Keep the search tree in sync with the moved center.
+			c.treeInsert(tree, c.clusters[cid])
+		} else {
+			cl := c.newCluster(t)
+			c.treeInsert(tree, cl)
+			cid = cl.ID
+		}
+		c.assignment[t.ID] = cid
+		if !seen[t.ID] {
+			res.Assigned++
+		}
+		res.Changed = true
+	}
+
+	// Step 3: merge clusters whose centers are closer than ρ.
+	res.Merged = c.mergeClusters()
+	if res.Merged > 0 {
+		res.Changed = true
+	}
+	return res
+}
+
+// computeFeatures samples this round's timestamps and builds each template's
+// feature vector.
+func (c *Clusterer) computeFeatures(now time.Time, templates []*preprocess.Template) {
+	c.features = make(map[int64][]float64, len(templates))
+	if c.opts.Mode == Logical {
+		for _, t := range templates {
+			c.features[t.ID] = t.Features.LogicalVector()
+		}
+		return
+	}
+	c.stamps = timeseries.SampleTimestamps(c.rng, now.Add(-c.opts.FeatureWindow), now, c.opts.FeatureSize)
+	for _, t := range templates {
+		feat := make([]float64, len(c.stamps))
+		for i, ts := range c.stamps {
+			feat[i] = t.History.At(ts)
+		}
+		c.features[t.ID] = feat
+	}
+}
+
+// similarity is cosine for arrival-rate features and an L2-derived score in
+// (0,1] for logical features, so the ρ threshold is meaningful in both modes.
+func (c *Clusterer) similarity(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	if c.opts.Mode == Logical {
+		var d2 float64
+		for i := range a {
+			d := a[i] - b[i]
+			d2 += d * d
+		}
+		return 1 / (1 + math.Sqrt(d2))
+	}
+	return mat.CosineSimilarity(a, b)
+}
+
+func (c *Clusterer) newCluster(t *preprocess.Template) *Cluster {
+	c.nextID++
+	cl := &Cluster{
+		ID:      c.nextID,
+		Members: map[int64]*preprocess.Template{t.ID: t},
+		center:  append([]float64(nil), c.features[t.ID]...),
+	}
+	c.clusters[cl.ID] = cl
+	return cl
+}
+
+func (c *Clusterer) addMember(cid int64, t *preprocess.Template) {
+	cl := c.clusters[cid]
+	cl.Members[t.ID] = t
+	c.recomputeCenter(cl)
+}
+
+func (c *Clusterer) removeMember(cid, tid int64) {
+	cl, ok := c.clusters[cid]
+	if !ok {
+		return
+	}
+	delete(cl.Members, tid)
+	if len(cl.Members) == 0 {
+		delete(c.clusters, cid)
+		return
+	}
+	c.recomputeCenter(cl)
+}
+
+// recomputeCenter sets the cluster center to the arithmetic average of its
+// members' current feature vectors (§5.2 step 1).
+func (c *Clusterer) recomputeCenter(cl *Cluster) {
+	var dim int
+	for id := range cl.Members {
+		dim = len(c.features[id])
+		break
+	}
+	if dim == 0 {
+		return
+	}
+	center := make([]float64, dim)
+	n := 0
+	for id := range cl.Members {
+		feat := c.features[id]
+		if len(feat) != dim {
+			continue
+		}
+		for i, v := range feat {
+			center[i] += v
+		}
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	inv := 1 / float64(n)
+	for i := range center {
+		center[i] *= inv
+	}
+	cl.center = center
+}
+
+// buildTree indexes normalized cluster centers for nearest-center lookup.
+func (c *Clusterer) buildTree() *kdtree.Tree {
+	dim := c.featureDim()
+	if dim == 0 {
+		return nil
+	}
+	tree := kdtree.New(dim)
+	for _, cl := range c.clusters {
+		c.treeInsert(tree, cl)
+	}
+	return tree
+}
+
+func (c *Clusterer) featureDim() int {
+	for _, f := range c.features {
+		return len(f)
+	}
+	return 0
+}
+
+func (c *Clusterer) treeInsert(tree *kdtree.Tree, cl *Cluster) {
+	if tree == nil || len(cl.center) != tree.Dim() {
+		return
+	}
+	if err := tree.Insert(cl.ID, normalize(cl.center)); err != nil {
+		panic(err) // dimensions are checked above
+	}
+}
+
+func (c *Clusterer) nearestCluster(tree *kdtree.Tree, feat []float64) (int64, bool) {
+	if tree == nil || tree.Len() == 0 || len(feat) != tree.Dim() {
+		return 0, false
+	}
+	id, _, _, ok := tree.Nearest(normalize(feat))
+	if !ok {
+		return 0, false
+	}
+	if _, exists := c.clusters[id]; !exists {
+		return 0, false
+	}
+	return id, true
+}
+
+func normalize(v []float64) []float64 {
+	n := mat.Norm2(v)
+	out := make([]float64, len(v))
+	if n == 0 {
+		return out
+	}
+	for i, x := range v {
+		out[i] = x / n
+	}
+	return out
+}
+
+// mergeClusters repeatedly merges the pair of clusters whose centers are
+// more similar than ρ until no such pair remains, returning the number of
+// merges. Cluster counts stay small after pruning, so the quadratic pair
+// scan is cheap relative to feature computation.
+func (c *Clusterer) mergeClusters() int {
+	merged := 0
+	for {
+		ids := c.clusterIDs()
+		var bestA, bestB int64
+		best := -1.0
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				a, b := c.clusters[ids[i]], c.clusters[ids[j]]
+				if s := c.similarity(a.center, b.center); s >= c.opts.Rho && s > best {
+					best, bestA, bestB = s, ids[i], ids[j]
+				}
+			}
+		}
+		if best < 0 {
+			return merged
+		}
+		dst, src := c.clusters[bestA], c.clusters[bestB]
+		for id, t := range src.Members {
+			dst.Members[id] = t
+			c.assignment[id] = dst.ID
+		}
+		delete(c.clusters, src.ID)
+		c.recomputeCenter(dst)
+		merged++
+	}
+}
+
+func (c *Clusterer) clusterIDs() []int64 {
+	ids := make([]int64, 0, len(c.clusters))
+	for id := range c.clusters {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Len returns the number of live clusters.
+func (c *Clusterer) Len() int { return len(c.clusters) }
+
+// Assignment returns the cluster ID a template currently belongs to.
+func (c *Clusterer) Assignment(templateID int64) (int64, bool) {
+	cid, ok := c.assignment[templateID]
+	return cid, ok
+}
+
+// Cluster returns the cluster with the given ID.
+func (c *Clusterer) Cluster(id int64) (*Cluster, bool) {
+	cl, ok := c.clusters[id]
+	return cl, ok
+}
+
+// Clusters returns all clusters sorted by descending volume over the window
+// [now-window, now), then by ID for determinism.
+func (c *Clusterer) Clusters(now time.Time, window time.Duration) []*Cluster {
+	out := make([]*Cluster, 0, len(c.clusters))
+	for _, cl := range c.clusters {
+		out = append(out, cl)
+	}
+	vol := make(map[int64]float64, len(out))
+	for _, cl := range out {
+		vol[cl.ID] = c.Volume(cl, now, window)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if vol[out[i].ID] != vol[out[j].ID] {
+			return vol[out[i].ID] > vol[out[j].ID]
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Volume returns the total query volume of the cluster's members over
+// [now-window, now).
+func (c *Clusterer) Volume(cl *Cluster, now time.Time, window time.Duration) float64 {
+	var total float64
+	from := now.Add(-window)
+	for _, t := range cl.Members {
+		for cur := from; cur.Before(now); cur = cur.Add(time.Minute) {
+			total += t.History.At(cur)
+		}
+	}
+	return total
+}
+
+// Coverage returns the fraction of total workload volume over the window
+// covered by the k highest-volume clusters (Figure 5).
+func (c *Clusterer) Coverage(k int, now time.Time, window time.Duration) float64 {
+	clusters := c.Clusters(now, window)
+	var top, total float64
+	for i, cl := range clusters {
+		v := c.Volume(cl, now, window)
+		total += v
+		if i < k {
+			top += v
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return top / total
+}
+
+// CenterSeries returns the average arrival-rate series of the cluster's
+// members over [from, to) at the given interval — the signal the forecaster
+// trains on (§5.1, Figure 3).
+func CenterSeries(cl *Cluster, from, to time.Time, interval time.Duration) *timeseries.Series {
+	out := timeseries.NewSeries(from, interval)
+	n := int(to.Sub(out.Start) / interval)
+	if n < 0 {
+		n = 0
+	}
+	out.Data = make([]float64, n)
+	if len(cl.Members) == 0 || n == 0 {
+		return out
+	}
+	minutes := int(interval / time.Minute)
+	if minutes < 1 {
+		minutes = 1
+	}
+	for _, t := range cl.Members {
+		for i := 0; i < n; i++ {
+			binStart := out.TimeOf(i)
+			var sum float64
+			for m := 0; m < minutes; m++ {
+				sum += t.History.At(binStart.Add(time.Duration(m) * time.Minute))
+			}
+			out.Data[i] += sum
+		}
+	}
+	out.Scale(1 / float64(len(cl.Members)))
+	return out
+}
+
+// TotalSeries is like CenterSeries but sums members instead of averaging,
+// giving the cluster's total arrival volume (used when replaying predicted
+// workloads against the engine).
+func TotalSeries(cl *Cluster, from, to time.Time, interval time.Duration) *timeseries.Series {
+	out := CenterSeries(cl, from, to, interval)
+	out.Scale(float64(len(cl.Members)))
+	return out
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"qb5000/internal/workload"
+)
+
+func replayDays(t *testing.T, ctl *Controller, w *workload.Workload, days int) time.Time {
+	t.Helper()
+	to := w.Start.Add(time.Duration(days) * 24 * time.Hour)
+	err := w.Replay(w.Start, to, 10*time.Minute, func(ev workload.Event) error {
+		return ctl.Ingest(ev.SQL, ev.At, ev.Count)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return to
+}
+
+func TestTickCadence(t *testing.T) {
+	w := workload.BusTracker(3)
+	ctl := New(Config{Model: "LR", ClusterEvery: 24 * time.Hour, Seed: 1})
+	to := replayDays(t, ctl, w, 3)
+
+	ran, err := ctl.Tick(to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("first tick should recluster")
+	}
+	// Immediately after, nothing is due and no new templates appeared.
+	ran, err = ctl.Tick(to.Add(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("tick re-ran without cadence or trigger")
+	}
+	ran, err = ctl.Tick(to.Add(25 * time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("daily cadence did not fire")
+	}
+}
+
+func TestNewTemplateTriggerForcesRecluster(t *testing.T) {
+	w := workload.BusTracker(3)
+	ctl := New(Config{Model: "LR", ClusterEvery: 240 * time.Hour, NewTemplateTrigger: 0.2, Seed: 1})
+	to := replayDays(t, ctl, w, 2)
+	if _, err := ctl.Tick(to); err != nil {
+		t.Fatal(err)
+	}
+	// Inject a burst of brand-new templates (> 20% of catalog).
+	n := ctl.Preprocessor().Len()
+	for i := 0; i < n; i++ {
+		sql := "SELECT brand_new_" + string(rune('a'+i%26)) + " FROM novel WHERE z = 1"
+		if err := ctl.Ingest(sql, to.Add(time.Minute), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ran, err := ctl.Tick(to.Add(2 * time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("new-template trigger did not fire")
+	}
+}
+
+func TestForecastUnknownHorizon(t *testing.T) {
+	ctl := New(Config{Model: "LR", Seed: 1})
+	if _, err := ctl.Forecast(42 * time.Hour); err == nil {
+		t.Fatal("expected error for untrained horizon")
+	}
+}
+
+func TestForecastClampsAbsurdPredictions(t *testing.T) {
+	w := workload.BusTracker(3)
+	ctl := New(Config{Model: "LR", Horizons: []time.Duration{time.Hour}, Seed: 1})
+	to := replayDays(t, ctl, w, 8)
+	if err := ctl.Refresh(to); err != nil {
+		t.Fatal(err)
+	}
+	preds, err := ctl.Forecast(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No forecast may exceed e× the highest training rate (the clamp).
+	for _, p := range preds {
+		if p.PerTemplateRate > 3*60*10000 {
+			t.Fatalf("unclamped prediction: %v", p.PerTemplateRate)
+		}
+		if p.TotalRate < p.PerTemplateRate {
+			t.Fatalf("TotalRate %v below per-template %v", p.TotalRate, p.PerTemplateRate)
+		}
+	}
+}
+
+func TestMultipleHorizons(t *testing.T) {
+	w := workload.BusTracker(3)
+	ctl := New(Config{
+		Model:    "LR",
+		Horizons: []time.Duration{time.Hour, 12 * time.Hour},
+		Seed:     1,
+	})
+	to := replayDays(t, ctl, w, 8)
+	if err := ctl.Refresh(to); err != nil {
+		t.Fatal(err)
+	}
+	hs := ctl.Horizons()
+	if len(hs) != 2 || hs[0] != time.Hour || hs[1] != 12*time.Hour {
+		t.Fatalf("Horizons = %v", hs)
+	}
+	for _, h := range hs {
+		if _, err := ctl.Forecast(h); err != nil {
+			t.Fatalf("horizon %v: %v", h, err)
+		}
+	}
+}
+
+func TestRetrainSkipsWhenHistoryTooShort(t *testing.T) {
+	w := workload.BusTracker(3)
+	ctl := New(Config{Model: "LR", Horizons: []time.Duration{time.Hour}, Seed: 1})
+	// Only 2 hours of data: not enough for a one-day input window.
+	to := w.Start.Add(2 * time.Hour)
+	err := w.Replay(w.Start, to, 10*time.Minute, func(ev workload.Event) error {
+		return ctl.Ingest(ev.SQL, ev.At, ev.Count)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Refresh(to); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.Forecast(time.Hour); err == nil {
+		t.Fatal("expected no model with 2h of history")
+	}
+}
+
+func TestLastSeenTracksIngest(t *testing.T) {
+	ctl := New(Config{Seed: 1})
+	at := time.Date(2018, 3, 1, 10, 0, 0, 0, time.UTC)
+	if err := ctl.Ingest("SELECT a FROM t WHERE x = 1", at, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !ctl.LastSeen().Equal(at) {
+		t.Fatalf("LastSeen = %v", ctl.LastSeen())
+	}
+	// Older arrivals do not move the clock backwards.
+	ctl.Ingest("SELECT a FROM t WHERE x = 2", at.Add(-time.Hour), 1)
+	if !ctl.LastSeen().Equal(at) {
+		t.Fatal("LastSeen moved backwards")
+	}
+}
+
+// TestEnsembleModelThroughController exercises the RNN training path inside
+// the controller with a reduced epoch budget.
+func TestEnsembleModelThroughController(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains an LSTM")
+	}
+	w := workload.BusTracker(3)
+	ctl := New(Config{
+		Model:    "ENSEMBLE",
+		Horizons: []time.Duration{time.Hour},
+		Epochs:   3,
+		Seed:     1,
+	})
+	to := replayDays(t, ctl, w, 8)
+	if err := ctl.Refresh(to); err != nil {
+		t.Fatal(err)
+	}
+	preds, err := ctl.Forecast(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, p := range preds {
+		total += p.TotalRate
+	}
+	if total <= 0 {
+		t.Fatalf("ensemble forecast total = %v", total)
+	}
+}
+
+// TestHybridModelThroughController exercises the spike-model wiring.
+func TestHybridModelThroughController(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains an LSTM")
+	}
+	w := workload.BusTracker(3)
+	ctl := New(Config{
+		Model:    "HYBRID",
+		Horizons: []time.Duration{time.Hour},
+		Epochs:   2,
+		Seed:     1,
+	})
+	to := replayDays(t, ctl, w, 9)
+	if err := ctl.Refresh(to); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.Forecast(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,450 @@
+// Package core wires QB5000's three stages together (paper §3, Figure 2):
+// the Pre-Processor ingests raw SQL and maintains templates in real time;
+// the Clusterer periodically regroups templates by arrival-rate similarity;
+// the Forecaster trains one model per prediction horizon on the largest
+// clusters and answers arrival-rate predictions for the planning module.
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"qb5000/internal/cluster"
+	"qb5000/internal/forecast"
+	"qb5000/internal/mat"
+	"qb5000/internal/preprocess"
+	"qb5000/internal/timeseries"
+)
+
+// Config tunes the controller. Zero values select the paper's operating
+// point.
+type Config struct {
+	// Rho is the clustering similarity threshold (default 0.8, Appendix A).
+	Rho float64
+	// Gamma is the HYBRID spike-override threshold (default 1.5, App. C).
+	Gamma float64
+	// Interval is the prediction interval (default one hour, §7.4).
+	Interval time.Duration
+	// Horizons are the prediction horizons to maintain models for
+	// (default: 1 hour).
+	Horizons []time.Duration
+	// TrainWindow bounds the history used for model training (default
+	// three weeks, §7.2).
+	TrainWindow time.Duration
+	// CoverageTarget selects how many clusters to model: the smallest set
+	// of highest-volume clusters covering this fraction of the workload
+	// (default 0.95, §7.2), capped at MaxClusters.
+	CoverageTarget float64
+	// MaxClusters caps the modeled clusters (default 5, §5.3).
+	MaxClusters int
+	// ClusterEvery is the periodic re-cluster cadence (default 24 h, §7.1).
+	ClusterEvery time.Duration
+	// NewTemplateTrigger re-clusters early when the fraction of
+	// previously-unseen templates exceeds it (default 0.2, §5.2).
+	NewTemplateTrigger float64
+	// Model selects the forecasting model family (default "HYBRID").
+	Model string
+	// FeatureMode selects arrival-rate (default) or logical clustering
+	// features (the §7.7 baseline).
+	FeatureMode cluster.FeatureMode
+	// Seed drives all randomness.
+	Seed int64
+	// Epochs and LearnRate tune the gradient-trained models.
+	Epochs    int
+	LearnRate float64
+	// FeatureSize is the clustering feature dimensionality (§5.1).
+	FeatureSize int
+	// Lag is the model input-window length (default one day, §7.2).
+	Lag time.Duration
+	// EvictAfter drops templates idle for this long (default 14 days).
+	EvictAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rho == 0 {
+		c.Rho = 0.8
+	}
+	if c.Gamma == 0 {
+		c.Gamma = forecast.DefaultGamma
+	}
+	if c.Interval == 0 {
+		c.Interval = time.Hour
+	}
+	if len(c.Horizons) == 0 {
+		c.Horizons = []time.Duration{time.Hour}
+	}
+	if c.TrainWindow == 0 {
+		c.TrainWindow = 21 * 24 * time.Hour
+	}
+	if c.CoverageTarget == 0 {
+		c.CoverageTarget = 0.95
+	}
+	if c.MaxClusters == 0 {
+		c.MaxClusters = 5
+	}
+	if c.ClusterEvery == 0 {
+		c.ClusterEvery = 24 * time.Hour
+	}
+	if c.NewTemplateTrigger == 0 {
+		c.NewTemplateTrigger = 0.2
+	}
+	if c.Model == "" {
+		c.Model = "HYBRID"
+	}
+	if c.EvictAfter == 0 {
+		c.EvictAfter = 14 * 24 * time.Hour
+	}
+	return c
+}
+
+// Controller is the QB5000 framework instance.
+type Controller struct {
+	cfg Config
+	pre *preprocess.Preprocessor
+	clu *cluster.Clusterer
+
+	tracked     []*cluster.Cluster // modeled clusters, highest volume first
+	models      map[time.Duration]forecast.Model
+	lastCluster time.Time
+	lastSeen    time.Time
+	firstSeen   time.Time
+	trainCount  int // how many times models were (re)trained
+	// maxTrainLog caps forecasts: no prediction may exceed e× the largest
+	// arrival rate seen during training (in log space, +1). Models
+	// extrapolating across a workload shift can otherwise emit absurd
+	// volumes that would mislead the planning module.
+	maxTrainLog float64
+}
+
+// New creates a controller.
+func New(cfg Config) *Controller {
+	cfg = cfg.withDefaults()
+	return &Controller{
+		cfg: cfg,
+		pre: preprocess.New(preprocess.Options{Seed: cfg.Seed, EvictAfter: cfg.EvictAfter}),
+		clu: cluster.New(cluster.Options{
+			Rho:         cfg.Rho,
+			Seed:        cfg.Seed + 1,
+			Mode:        cfg.FeatureMode,
+			FeatureSize: cfg.FeatureSize,
+		}),
+		models: make(map[time.Duration]forecast.Model),
+	}
+}
+
+// Ingest forwards one query observation (with an arrival count, for batched
+// replay) into the Pre-Processor.
+func (c *Controller) Ingest(sql string, at time.Time, count int64) error {
+	if at.After(c.lastSeen) {
+		c.lastSeen = at
+	}
+	if c.firstSeen.IsZero() || at.Before(c.firstSeen) {
+		c.firstSeen = at
+	}
+	_, err := c.pre.ProcessBatch(sql, at, count)
+	return err
+}
+
+// Preprocessor exposes the template catalog.
+func (c *Controller) Preprocessor() *preprocess.Preprocessor { return c.pre }
+
+// Clusterer exposes the clustering state.
+func (c *Controller) Clusterer() *cluster.Clusterer { return c.clu }
+
+// Tracked returns the clusters currently being modeled, largest first.
+func (c *Controller) Tracked() []*cluster.Cluster { return c.tracked }
+
+// TrainCount reports how many times the forecasting models have been
+// (re)trained; every cluster-assignment change forces a retrain (§3).
+func (c *Controller) TrainCount() int { return c.trainCount }
+
+// LastSeen returns the most recent ingested timestamp (the controller's
+// notion of "now" during trace replay).
+func (c *Controller) LastSeen() time.Time { return c.lastSeen }
+
+// Tick performs due maintenance at the (simulated or wall-clock) time now:
+// history compaction, periodic re-clustering, the early re-cluster trigger
+// on new-template share, and model retraining whenever assignments changed.
+// It returns whether a re-cluster ran.
+func (c *Controller) Tick(now time.Time) (bool, error) {
+	due := now.Sub(c.lastCluster) >= c.cfg.ClusterEvery
+	trigger := c.pre.NewTemplateRatio() > c.cfg.NewTemplateTrigger && c.pre.Len() > 0
+	if !due && !trigger {
+		return false, nil
+	}
+	return true, c.Refresh(now)
+}
+
+// Refresh forces a full re-cluster and model retrain. The paper's framework
+// periodically updates both the cluster assignments and the forecasting
+// models (§3), and additionally retrains whenever assignments change; since
+// Refresh IS the periodic update, it always retrains on the latest history.
+func (c *Controller) Refresh(now time.Time) error {
+	c.pre.Maintain(now)
+	c.clu.Update(now, c.pre.Templates())
+	c.pre.MarkNewTemplates()
+	c.lastCluster = now
+	return c.retrain(now)
+}
+
+// retrain rebuilds the tracked-cluster set and fits one model per horizon.
+func (c *Controller) retrain(now time.Time) error {
+	c.selectTracked(now)
+	if len(c.tracked) == 0 {
+		return nil
+	}
+	hist := c.historyMatrix(now)
+	if hist.Rows < 4 {
+		return nil // not enough history yet; keep previous models
+	}
+	c.maxTrainLog = 0
+	for _, v := range hist.Data {
+		if v > c.maxTrainLog {
+			c.maxTrainLog = v
+		}
+	}
+	trained := false
+	for _, h := range c.cfg.Horizons {
+		horizon := int(h / c.cfg.Interval)
+		if horizon < 1 {
+			horizon = 1
+		}
+		cfg := forecast.Config{
+			Lag:       c.lagIntervals(),
+			Horizon:   horizon,
+			Outputs:   len(c.tracked),
+			Seed:      c.cfg.Seed + int64(h/time.Minute),
+			Epochs:    c.cfg.Epochs,
+			LearnRate: c.cfg.LearnRate,
+		}
+		if hist.Rows < cfg.Lag+cfg.Horizon+1 {
+			continue
+		}
+		m, err := forecast.NewByName(c.cfg.Model, cfg)
+		if err != nil {
+			return err
+		}
+		if err := m.Fit(hist); err != nil {
+			return fmt.Errorf("core: fit %s horizon %v: %w", c.cfg.Model, h, err)
+		}
+		if hy, ok := m.(*forecast.Hybrid); ok {
+			// The spike model trains on the entire hourly history; a young
+			// deployment may not have enough of it yet, in which case the
+			// hybrid silently degrades to plain ENSEMBLE.
+			_ = hy.FitSpike(c.fullHourlyMatrix(now))
+		}
+		c.models[h] = m
+		trained = true
+	}
+	if trained {
+		c.trainCount++
+	}
+	return nil
+}
+
+// lagIntervals is the model input window: one day of intervals by default
+// (§7.2 uses the last day's arrival rate as input).
+func (c *Controller) lagIntervals() int {
+	lag := c.cfg.Lag
+	if lag == 0 {
+		lag = 24 * time.Hour
+	}
+	n := int(lag / c.cfg.Interval)
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// selectTracked picks the highest-volume clusters covering the target
+// fraction of the last day's workload, capped at MaxClusters.
+func (c *Controller) selectTracked(now time.Time) {
+	window := 24 * time.Hour
+	clusters := c.clu.Clusters(now, window)
+	var total float64
+	vols := make([]float64, len(clusters))
+	for i, cl := range clusters {
+		vols[i] = c.clu.Volume(cl, now, window)
+		total += vols[i]
+	}
+	c.tracked = c.tracked[:0]
+	var covered float64
+	for i, cl := range clusters {
+		if len(c.tracked) >= c.cfg.MaxClusters {
+			break
+		}
+		c.tracked = append(c.tracked, cl)
+		covered += vols[i]
+		if total > 0 && covered/total >= c.cfg.CoverageTarget {
+			break
+		}
+	}
+}
+
+// historyMatrix builds the training matrix: rows are intervals over the
+// training window, columns are tracked clusters, values are log1p of the
+// cluster-center (per-template average) arrival rate per interval.
+func (c *Controller) historyMatrix(now time.Time) *mat.Matrix {
+	from := now.Add(-c.cfg.TrainWindow).Truncate(c.cfg.Interval)
+	// Never train on fabricated zeros from before the first observation.
+	if !c.firstSeen.IsZero() {
+		if fs := c.firstSeen.Truncate(c.cfg.Interval); fs.After(from) {
+			from = fs
+		}
+	}
+	to := now.Truncate(c.cfg.Interval)
+	rows := int(to.Sub(from) / c.cfg.Interval)
+	if rows < 0 {
+		rows = 0
+	}
+	m := mat.New(rows, len(c.tracked))
+	for j, cl := range c.tracked {
+		s := cluster.CenterSeries(cl, from, to, c.cfg.Interval)
+		for i := 0; i < rows && i < s.Len(); i++ {
+			m.Set(i, j, timeseries.Log1pClamped(s.Data[i]))
+		}
+	}
+	return m
+}
+
+// fullHourlyMatrix builds the entire-history hourly matrix the HYBRID spike
+// model trains on (§6.2).
+func (c *Controller) fullHourlyMatrix(now time.Time) *mat.Matrix {
+	if len(c.tracked) == 0 {
+		return mat.New(0, 0)
+	}
+	var from time.Time
+	for _, cl := range c.tracked {
+		for _, t := range cl.Members {
+			start := t.History.Coarse().Start
+			if t.History.Coarse().Len() == 0 {
+				start = t.History.Fine().Start
+			}
+			if from.IsZero() || start.Before(from) {
+				from = start
+			}
+		}
+	}
+	if from.IsZero() {
+		return mat.New(0, len(c.tracked))
+	}
+	to := now.Truncate(time.Hour)
+	rows := int(to.Sub(from) / time.Hour)
+	if rows < 0 {
+		rows = 0
+	}
+	m := mat.New(rows, len(c.tracked))
+	for j, cl := range c.tracked {
+		if len(cl.Members) == 0 {
+			continue
+		}
+		for _, t := range cl.Members {
+			full := t.History.FullHourly()
+			for i := 0; i < rows; i++ {
+				m.Set(i, j, m.At(i, j)+full.At(from.Add(time.Duration(i)*time.Hour)))
+			}
+		}
+		inv := 1 / float64(len(cl.Members))
+		for i := 0; i < rows; i++ {
+			m.Set(i, j, timeseries.Log1pClamped(m.At(i, j)*inv))
+		}
+	}
+	return m
+}
+
+// ClusterForecast is the prediction for one tracked cluster.
+type ClusterForecast struct {
+	// Cluster is the forecasted cluster.
+	Cluster *cluster.Cluster
+	// PerTemplateRate is the predicted average arrival rate of the
+	// cluster's templates, in queries per interval.
+	PerTemplateRate float64
+	// TotalRate scales the center by the member count: the cluster's total
+	// predicted volume per interval.
+	TotalRate float64
+}
+
+// Forecast predicts the workload `horizon` into the future from the most
+// recent data (§3: predictions always use the latest history as input).
+func (c *Controller) Forecast(horizon time.Duration) ([]ClusterForecast, error) {
+	m, ok := c.models[horizon]
+	if !ok {
+		return nil, fmt.Errorf("core: no model trained for horizon %v", horizon)
+	}
+	now := c.lastSeen.Truncate(c.cfg.Interval)
+	recent := c.recentMatrix(now)
+	pred, err := m.Predict(recent)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ClusterForecast, 0, len(c.tracked))
+	cap := c.maxTrainLog + 1
+	for j, cl := range c.tracked {
+		p := pred[j]
+		if p > cap {
+			p = cap
+		}
+		rate := timeseries.Expm1Clamped(p)
+		out = append(out, ClusterForecast{
+			Cluster:         cl,
+			PerTemplateRate: rate,
+			TotalRate:       rate * float64(len(cl.Members)),
+		})
+	}
+	return out, nil
+}
+
+// recentMatrix assembles the model input: the last lag intervals ending at
+// now.
+func (c *Controller) recentMatrix(now time.Time) *mat.Matrix {
+	lag := c.lagIntervals()
+	from := now.Add(-time.Duration(lag) * c.cfg.Interval)
+	m := mat.New(lag, len(c.tracked))
+	for j, cl := range c.tracked {
+		s := cluster.CenterSeries(cl, from, now, c.cfg.Interval)
+		for i := 0; i < lag && i < s.Len(); i++ {
+			m.Set(i, j, timeseries.Log1pClamped(s.Data[i]))
+		}
+	}
+	return m
+}
+
+// Snapshot persists the controller's durable state (the template catalog
+// with arrival histories). Clusters and models are derived state and are
+// rebuilt by the first Refresh after a restore.
+func (c *Controller) Snapshot(w io.Writer) error {
+	return c.pre.Snapshot(w)
+}
+
+// RestoreController rebuilds a controller from a snapshot stream. The
+// returned controller has an empty clustering/model state; call Refresh (or
+// let Tick fire) to rebuild it from the restored histories.
+func RestoreController(cfg Config, r io.Reader) (*Controller, error) {
+	c := New(cfg)
+	pre, err := preprocess.RestoreSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	c.pre = pre
+	for _, t := range pre.Templates() {
+		if t.LastSeen.After(c.lastSeen) {
+			c.lastSeen = t.LastSeen
+		}
+		if c.firstSeen.IsZero() || t.FirstSeen.Before(c.firstSeen) {
+			c.firstSeen = t.FirstSeen
+		}
+	}
+	return c, nil
+}
+
+// Horizons lists the horizons with trained models, sorted ascending.
+func (c *Controller) Horizons() []time.Duration {
+	out := make([]time.Duration, 0, len(c.models))
+	for h := range c.models {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

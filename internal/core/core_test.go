@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"qb5000/internal/workload"
+)
+
+// TestPipelineSmoke replays a week of BusTracker into the controller, forces
+// training with the (cheap) LR model, and checks a 1-hour-ahead forecast is
+// produced and roughly tracks the workload's scale.
+func TestPipelineSmoke(t *testing.T) {
+	w := workload.BusTracker(42)
+	ctl := New(Config{
+		Model:    "LR",
+		Horizons: []time.Duration{time.Hour},
+		Seed:     7,
+	})
+
+	from := w.Start
+	to := from.Add(8 * 24 * time.Hour)
+	err := w.Replay(from, to, 5*time.Minute, func(ev workload.Event) error {
+		return ctl.Ingest(ev.SQL, ev.At, ev.Count)
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+
+	if got := ctl.Preprocessor().Len(); got < 10 {
+		t.Fatalf("expected at least 10 templates, got %d", got)
+	}
+
+	if err := ctl.Refresh(to); err != nil {
+		t.Fatalf("refresh: %v", err)
+	}
+	if ctl.Clusterer().Len() == 0 {
+		t.Fatal("no clusters formed")
+	}
+	if len(ctl.Tracked()) == 0 {
+		t.Fatal("no clusters tracked")
+	}
+	if ctl.TrainCount() == 0 {
+		t.Fatal("models never trained")
+	}
+
+	preds, err := ctl.Forecast(time.Hour)
+	if err != nil {
+		t.Fatalf("forecast: %v", err)
+	}
+	if len(preds) != len(ctl.Tracked()) {
+		t.Fatalf("got %d forecasts for %d tracked clusters", len(preds), len(ctl.Tracked()))
+	}
+	var total float64
+	for _, p := range preds {
+		if p.PerTemplateRate < 0 {
+			t.Fatalf("negative predicted rate %v", p.PerTemplateRate)
+		}
+		total += p.TotalRate
+	}
+	if total <= 0 {
+		t.Fatalf("expected positive total predicted volume, got %v", total)
+	}
+}

@@ -1,0 +1,336 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"qb5000/internal/sqlparse"
+)
+
+// resultRow pairs output values with the pre-computed ORDER BY keys.
+type resultRow struct {
+	values    []Value
+	orderKeys []Value
+}
+
+// aggState accumulates one aggregate call over a group.
+type aggState struct {
+	count   int64
+	sum     float64
+	min     Value
+	max     Value
+	hasMin  bool
+	sumInts bool // all inputs were integers
+}
+
+// groupState is the accumulator for one GROUP BY bucket.
+type groupState struct {
+	aggs []*aggState
+	rep  []boundRow // binding snapshot of the group's first row
+}
+
+// aggregator routes produced join rows either straight to the output (plain
+// projection) or into GROUP BY buckets with aggregate accumulation.
+type aggregator struct {
+	stmt    *sqlparse.SelectStmt
+	items   []sqlparse.SelectItem
+	grouped bool
+	// aggCalls are the aggregate invocations found in items/HAVING/ORDER
+	// BY, identified by pointer.
+	aggCalls []*sqlparse.FuncCall
+	aggIndex map[*sqlparse.FuncCall]int
+
+	groups   map[string]*groupState
+	groupSeq []string
+
+	plain []resultRow
+}
+
+var engineAggFuncs = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+func newAggregator(s *sqlparse.SelectStmt, sources []boundSource) *aggregator {
+	a := &aggregator{stmt: s, aggIndex: make(map[*sqlparse.FuncCall]int)}
+	// Expand * projections against the join sources.
+	for _, it := range s.Items {
+		if c, ok := it.Expr.(*sqlparse.ColumnRef); ok && c.Column == "*" {
+			for _, src := range sources {
+				if c.Table != "" && strings.ToLower(c.Table) != src.alias && strings.ToLower(c.Table) != src.table.Name {
+					continue
+				}
+				for _, col := range src.table.Columns {
+					a.items = append(a.items, sqlparse.SelectItem{
+						Expr: &sqlparse.ColumnRef{Table: src.alias, Column: col.Name},
+					})
+				}
+			}
+			continue
+		}
+		a.items = append(a.items, it)
+	}
+	// Find aggregate calls.
+	collect := func(e sqlparse.Expr) {
+		walkExprTree(e, func(x sqlparse.Expr) {
+			f, ok := x.(*sqlparse.FuncCall)
+			if !ok || !engineAggFuncs[f.Name] {
+				return
+			}
+			if _, seen := a.aggIndex[f]; seen {
+				return
+			}
+			a.aggIndex[f] = len(a.aggCalls)
+			a.aggCalls = append(a.aggCalls, f)
+		})
+	}
+	for _, it := range a.items {
+		collect(it.Expr)
+	}
+	collect(s.Having)
+	for _, o := range s.OrderBy {
+		collect(o.Expr)
+	}
+	a.grouped = len(s.GroupBy) > 0 || s.Having != nil || len(a.aggCalls) > 0
+	if a.grouped {
+		a.groups = make(map[string]*groupState)
+	}
+	return a
+}
+
+// consume ingests one joined row. It returns false to stop the scan (never
+// for grouped queries).
+func (a *aggregator) consume(b *binding, cost *Cost) (bool, error) {
+	if !a.grouped {
+		row := resultRow{values: make([]Value, len(a.items))}
+		for i, it := range a.items {
+			v, err := evalExpr(it.Expr, b)
+			if err != nil {
+				return false, err
+			}
+			row.values[i] = v
+		}
+		for _, o := range a.stmt.OrderBy {
+			v, err := evalExpr(o.Expr, b)
+			if err != nil {
+				return false, err
+			}
+			row.orderKeys = append(row.orderKeys, v)
+		}
+		a.plain = append(a.plain, row)
+		return true, nil
+	}
+
+	// Group key.
+	var kb strings.Builder
+	for _, g := range a.stmt.GroupBy {
+		v, err := evalExpr(g, b)
+		if err != nil {
+			return false, err
+		}
+		kb.WriteString(v.String())
+		kb.WriteByte('\x00')
+	}
+	key := kb.String()
+	gs, ok := a.groups[key]
+	if !ok {
+		gs = &groupState{aggs: make([]*aggState, len(a.aggCalls))}
+		for i := range gs.aggs {
+			gs.aggs[i] = &aggState{sumInts: true}
+		}
+		gs.rep = append([]boundRow(nil), b.entries...)
+		a.groups[key] = gs
+		a.groupSeq = append(a.groupSeq, key)
+	}
+	for i, call := range a.aggCalls {
+		if err := gs.aggs[i].observe(call, b); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+func (st *aggState) observe(call *sqlparse.FuncCall, b *binding) error {
+	if call.Star {
+		st.count++
+		return nil
+	}
+	if len(call.Args) != 1 {
+		return fmt.Errorf("engine: %s expects one argument", call.Name)
+	}
+	v, err := evalExpr(call.Args[0], b)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil
+	}
+	st.count++
+	if f, ok := v.AsFloat(); ok {
+		st.sum += f
+		if v.Kind != KindInt {
+			st.sumInts = false
+		}
+	}
+	if !st.hasMin {
+		st.min, st.max, st.hasMin = v, v, true
+	} else {
+		if Compare(v, st.min) < 0 {
+			st.min = v
+		}
+		if Compare(v, st.max) > 0 {
+			st.max = v
+		}
+	}
+	return nil
+}
+
+func (st *aggState) result(call *sqlparse.FuncCall) Value {
+	switch call.Name {
+	case "COUNT":
+		return IntVal(st.count)
+	case "SUM":
+		if st.count == 0 {
+			return Null
+		}
+		if st.sumInts {
+			return IntVal(int64(st.sum))
+		}
+		return FloatVal(st.sum)
+	case "AVG":
+		if st.count == 0 {
+			return Null
+		}
+		return FloatVal(st.sum / float64(st.count))
+	case "MIN":
+		if !st.hasMin {
+			return Null
+		}
+		return st.min
+	case "MAX":
+		if !st.hasMin {
+			return Null
+		}
+		return st.max
+	default:
+		return Null
+	}
+}
+
+// produced reports how many plain rows have been emitted (for early LIMIT).
+func (a *aggregator) produced() int { return len(a.plain) }
+
+// finish materializes the output rows. For grouped queries it evaluates
+// HAVING, the select items, and ORDER BY keys per group.
+func (a *aggregator) finish(cost *Cost) ([]resultRow, error) {
+	if !a.grouped {
+		return a.plain, nil
+	}
+	var rows []resultRow
+	for _, key := range a.groupSeq {
+		gs := a.groups[key]
+		b := &binding{entries: gs.rep}
+		eval := func(e sqlparse.Expr) (Value, error) { return a.evalWithAggs(e, gs, b) }
+		if a.stmt.Having != nil {
+			v, err := eval(a.stmt.Having)
+			if err != nil {
+				return nil, err
+			}
+			if !v.Truthy() {
+				continue
+			}
+		}
+		row := resultRow{values: make([]Value, len(a.items))}
+		for i, it := range a.items {
+			v, err := eval(it.Expr)
+			if err != nil {
+				return nil, err
+			}
+			row.values[i] = v
+		}
+		for _, o := range a.stmt.OrderBy {
+			v, err := eval(o.Expr)
+			if err != nil {
+				return nil, err
+			}
+			row.orderKeys = append(row.orderKeys, v)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// evalWithAggs evaluates an expression in group context: aggregate calls
+// read the group's accumulated state; everything else evaluates against the
+// group's representative row.
+func (a *aggregator) evalWithAggs(e sqlparse.Expr, gs *groupState, b *binding) (Value, error) {
+	switch x := e.(type) {
+	case *sqlparse.FuncCall:
+		if idx, ok := a.aggIndex[x]; ok {
+			return gs.aggs[idx].result(x), nil
+		}
+		return Null, fmt.Errorf("engine: unsupported function %s", x.Name)
+	case *sqlparse.BinaryExpr:
+		l, err := a.evalWithAggs(x.Left, gs, b)
+		if err != nil {
+			return Null, err
+		}
+		r, err := a.evalWithAggs(x.Right, gs, b)
+		if err != nil {
+			return Null, err
+		}
+		return applyBinaryValues(x.Op, l, r)
+	case *sqlparse.ParenExpr:
+		return a.evalWithAggs(x.Inner, gs, b)
+	case *sqlparse.NotExpr:
+		v, err := a.evalWithAggs(x.Inner, gs, b)
+		if err != nil {
+			return Null, err
+		}
+		return BoolVal(!v.Truthy()), nil
+	default:
+		return evalExpr(e, b)
+	}
+}
+
+// applyBinaryValues applies a binary operator to two already-evaluated
+// values (no short-circuiting; used in aggregate context).
+func applyBinaryValues(op string, l, r Value) (Value, error) {
+	switch op {
+	case "AND":
+		return BoolVal(l.Truthy() && r.Truthy()), nil
+	case "OR":
+		return BoolVal(l.Truthy() || r.Truthy()), nil
+	case "=":
+		return BoolVal(!l.IsNull() && !r.IsNull() && Compare(l, r) == 0), nil
+	case "!=":
+		return BoolVal(!l.IsNull() && !r.IsNull() && Compare(l, r) != 0), nil
+	case "<":
+		return BoolVal(Compare(l, r) < 0), nil
+	case "<=":
+		return BoolVal(Compare(l, r) <= 0), nil
+	case ">":
+		return BoolVal(Compare(l, r) > 0), nil
+	case ">=":
+		return BoolVal(Compare(l, r) >= 0), nil
+	case "LIKE":
+		if l.Kind != KindString || r.Kind != KindString {
+			return BoolVal(false), nil
+		}
+		return BoolVal(likeMatch(l.Str, r.Str)), nil
+	default:
+		return arith(op, l, r)
+	}
+}
+
+// columnNames derives output column labels.
+func (a *aggregator) columnNames() []string {
+	out := make([]string, len(a.items))
+	for i, it := range a.items {
+		if it.Alias != "" {
+			out[i] = strings.ToLower(it.Alias)
+			continue
+		}
+		out[i] = sqlparse.ExprSQL(it.Expr)
+	}
+	return out
+}

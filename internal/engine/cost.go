@@ -1,0 +1,56 @@
+package engine
+
+import "qb5000/internal/btree"
+
+// Cost accounts the work one operation performed in engine work units.
+type Cost struct {
+	// RowsScanned counts heap rows examined (sequential scan work).
+	RowsScanned int64
+	// IndexPages counts B+Tree pages touched during probes.
+	IndexPages int64
+	// RowsMatched counts rows fetched through an index.
+	RowsMatched int64
+	// RowsReturned counts result rows produced.
+	RowsReturned int64
+	// RowsModified counts rows inserted/updated/deleted.
+	RowsModified int64
+}
+
+// Add accumulates other into c.
+func (c *Cost) Add(other Cost) {
+	c.RowsScanned += other.RowsScanned
+	c.IndexPages += other.IndexPages
+	c.RowsMatched += other.RowsMatched
+	c.RowsReturned += other.RowsReturned
+	c.RowsModified += other.RowsModified
+}
+
+// Cost-model weights, in abstract time units per operation. The absolute
+// scale is arbitrary; the Figure 11/12 replay converts units to simulated
+// microseconds. The relative weights encode that a heap-row examination
+// during a full scan is cheap per row but unavoidable for every row, an
+// index page touch is a few rows' worth, and modifying a row (with index
+// maintenance) is the most expensive single-row operation.
+const (
+	unitRowScan    = 1.0
+	unitIndexPage  = 4.0
+	unitRowMatch   = 2.0
+	unitRowReturn  = 0.5
+	unitRowModify  = 6.0
+	unitQueryFixed = 20.0 // fixed per-query overhead (parse, plan, dispatch)
+)
+
+// Units converts the cost into abstract time units.
+func (c Cost) Units() float64 {
+	return unitQueryFixed +
+		unitRowScan*float64(c.RowsScanned) +
+		unitIndexPage*float64(c.IndexPages) +
+		unitRowMatch*float64(c.RowsMatched) +
+		unitRowReturn*float64(c.RowsReturned) +
+		unitRowModify*float64(c.RowsModified)
+}
+
+// newIndexTree builds the B+Tree used by secondary indexes.
+func newIndexTree() *btree.Tree[Key] {
+	return btree.New[Key](KeyLess)
+}

@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Engine is the embedded relational engine: a catalog of heap tables plus
+// the executor and cost model.
+type Engine struct {
+	tables map[string]*Table
+}
+
+// New creates an empty engine.
+func New() *Engine {
+	return &Engine{tables: make(map[string]*Table)}
+}
+
+// CreateTable registers a new table.
+func (e *Engine) CreateTable(name string, cols []Column) (*Table, error) {
+	lname := strings.ToLower(name)
+	if _, exists := e.tables[lname]; exists {
+		return nil, fmt.Errorf("engine: table %q already exists", name)
+	}
+	t, err := newTable(lname, cols)
+	if err != nil {
+		return nil, err
+	}
+	e.tables[lname] = t
+	return t, nil
+}
+
+// Table looks up a table by name.
+func (e *Engine) Table(name string) (*Table, bool) {
+	t, ok := e.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// Tables returns all tables sorted by name.
+func (e *Engine) Tables() []*Table {
+	out := make([]*Table, 0, len(e.tables))
+	for _, t := range e.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// InsertValues appends a row given in column order (missing trailing columns
+// default to NULL).
+func (e *Engine) InsertValues(table string, vals []Value) error {
+	t, ok := e.Table(table)
+	if !ok {
+		return fmt.Errorf("engine: unknown table %q", table)
+	}
+	if len(vals) > len(t.Columns) {
+		return fmt.Errorf("engine: %d values for %d columns in %q", len(vals), len(t.Columns), table)
+	}
+	row := make([]Value, len(t.Columns))
+	for i := range row {
+		if i < len(vals) {
+			row[i] = vals[i]
+		} else {
+			row[i] = Null
+		}
+	}
+	t.insert(row)
+	return nil
+}
+
+// CreateIndex builds a secondary index over the given columns and returns it
+// together with the build cost (rows scanned). Index names are derived from
+// the table and columns.
+func (e *Engine) CreateIndex(table string, cols []string) (*Index, Cost, error) {
+	t, ok := e.Table(table)
+	if !ok {
+		return nil, Cost{}, fmt.Errorf("engine: unknown table %q", table)
+	}
+	name := indexName(table, cols)
+	if _, exists := t.indexes[name]; exists {
+		return nil, Cost{}, fmt.Errorf("engine: index %q already exists", name)
+	}
+	ix := &Index{Name: name, Table: t.Name, Columns: make([]string, len(cols))}
+	for i, c := range cols {
+		lc := strings.ToLower(c)
+		pos, ok := t.ColumnIndex(lc)
+		if !ok {
+			return nil, Cost{}, fmt.Errorf("engine: unknown column %q in table %q", c, table)
+		}
+		ix.Columns[i] = lc
+		ix.cols = append(ix.cols, pos)
+	}
+	ix.tree = newIndexTree()
+	var cost Cost
+	for id, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		ix.tree.Insert(ix.keyFor(row), int64(id))
+		cost.RowsScanned++
+	}
+	t.indexes[name] = ix
+	return ix, cost, nil
+}
+
+// DropIndex removes an index by name.
+func (e *Engine) DropIndex(table, name string) error {
+	t, ok := e.Table(table)
+	if !ok {
+		return fmt.Errorf("engine: unknown table %q", table)
+	}
+	if _, ok := t.indexes[name]; !ok {
+		return fmt.Errorf("engine: unknown index %q on %q", name, table)
+	}
+	delete(t.indexes, name)
+	return nil
+}
+
+// indexName derives the deterministic index name for a column set.
+func indexName(table string, cols []string) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = strings.ToLower(c)
+	}
+	return "idx_" + strings.ToLower(table) + "_" + strings.Join(parts, "_")
+}
+
+// IndexName exposes the deterministic index naming scheme.
+func IndexName(table string, cols []string) string { return indexName(table, cols) }

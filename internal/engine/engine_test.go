@@ -1,0 +1,504 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// newTestEngine builds a small catalog:
+//
+//	users(id INT, name STRING, age INT, city STRING)
+//	orders(id INT, user_id INT, amount FLOAT, status STRING)
+func newTestEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := New()
+	if _, err := e.CreateTable("users", []Column{
+		{Name: "id", Type: IntCol},
+		{Name: "name", Type: StringCol},
+		{Name: "age", Type: IntCol},
+		{Name: "city", Type: StringCol},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CreateTable("orders", []Column{
+		{Name: "id", Type: IntCol},
+		{Name: "user_id", Type: IntCol},
+		{Name: "amount", Type: FloatCol},
+		{Name: "status", Type: StringCol},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	users := [][]Value{
+		{IntVal(1), StringVal("ann"), IntVal(30), StringVal("nyc")},
+		{IntVal(2), StringVal("bob"), IntVal(25), StringVal("sf")},
+		{IntVal(3), StringVal("cara"), IntVal(35), StringVal("nyc")},
+		{IntVal(4), StringVal("dan"), IntVal(40), StringVal("chi")},
+	}
+	for _, r := range users {
+		if err := e.InsertValues("users", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	orders := [][]Value{
+		{IntVal(10), IntVal(1), FloatVal(9.5), StringVal("paid")},
+		{IntVal(11), IntVal(1), FloatVal(20), StringVal("open")},
+		{IntVal(12), IntVal(2), FloatVal(7.25), StringVal("paid")},
+		{IntVal(13), IntVal(3), FloatVal(40), StringVal("open")},
+		{IntVal(14), IntVal(3), FloatVal(5), StringVal("paid")},
+	}
+	for _, r := range orders {
+		if err := e.InsertValues("orders", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+func rows(t *testing.T, e *Engine, sql string) [][]string {
+	t.Helper()
+	res, err := e.Execute(sql)
+	if err != nil {
+		t.Fatalf("%q: %v", sql, err)
+	}
+	out := make([][]string, len(res.Rows))
+	for i, r := range res.Rows {
+		for _, v := range r {
+			out[i] = append(out[i], v.String())
+		}
+	}
+	return out
+}
+
+func TestSelectWhere(t *testing.T) {
+	e := newTestEngine(t)
+	got := rows(t, e, "SELECT name FROM users WHERE age > 28 AND city = 'nyc'")
+	want := [][]string{{"ann"}, {"cara"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestSelectOrderLimitOffset(t *testing.T) {
+	e := newTestEngine(t)
+	got := rows(t, e, "SELECT name FROM users ORDER BY age DESC LIMIT 2 OFFSET 1")
+	want := [][]string{{"cara"}, {"ann"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	e := newTestEngine(t)
+	res, err := e.Execute("SELECT * FROM users WHERE id = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 4 {
+		t.Fatalf("star expansion: %v", res.Rows)
+	}
+	if res.Columns[1] != "users.name" {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+}
+
+func TestAggregatesAndGroupBy(t *testing.T) {
+	e := newTestEngine(t)
+	got := rows(t, e, "SELECT o.user_id, COUNT(*), SUM(o.amount) FROM orders o GROUP BY o.user_id ORDER BY o.user_id")
+	want := [][]string{
+		{"1", "2", "29.5"},
+		{"2", "1", "7.25"},
+		{"3", "2", "45"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestHaving(t *testing.T) {
+	e := newTestEngine(t)
+	got := rows(t, e, "SELECT o.user_id FROM orders o GROUP BY o.user_id HAVING COUNT(*) > 1 ORDER BY o.user_id")
+	want := [][]string{{"1"}, {"3"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestAggregateWithoutGroupBy(t *testing.T) {
+	e := newTestEngine(t)
+	got := rows(t, e, "SELECT COUNT(*), AVG(age), MIN(age), MAX(age) FROM users")
+	want := [][]string{{"4", "32.5", "25", "40"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	e := newTestEngine(t)
+	got := rows(t, e, "SELECT u.name, o.amount FROM users u JOIN orders o ON u.id = o.user_id WHERE o.status = 'paid' ORDER BY o.amount DESC")
+	want := [][]string{{"ann", "9.5"}, {"bob", "7.25"}, {"cara", "5"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestImplicitJoin(t *testing.T) {
+	e := newTestEngine(t)
+	got := rows(t, e, "SELECT u.name FROM users u, orders o WHERE u.id = o.user_id AND o.amount > 30")
+	want := [][]string{{"cara"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	e := newTestEngine(t)
+	got := rows(t, e, "SELECT DISTINCT o.status FROM orders o ORDER BY o.status")
+	want := [][]string{{"open"}, {"paid"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestInsertUpdateDelete(t *testing.T) {
+	e := newTestEngine(t)
+	if _, err := e.Execute("INSERT INTO users (id, name, age, city) VALUES (5, 'eve', 22, 'la')"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Execute("UPDATE users SET age = age + 1 WHERE city = 'nyc'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.RowsModified != 2 {
+		t.Fatalf("updated %d rows", res.Cost.RowsModified)
+	}
+	got := rows(t, e, "SELECT age FROM users WHERE name = 'ann'")
+	if got[0][0] != "31" {
+		t.Fatalf("age after update = %v", got)
+	}
+	res, err = e.Execute("DELETE FROM users WHERE age < 25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.RowsModified != 1 {
+		t.Fatalf("deleted %d rows", res.Cost.RowsModified)
+	}
+	tbl, _ := e.Table("users")
+	if tbl.RowCount() != 4 {
+		t.Fatalf("RowCount = %d", tbl.RowCount())
+	}
+}
+
+func TestInExpressionAndBetween(t *testing.T) {
+	e := newTestEngine(t)
+	got := rows(t, e, "SELECT name FROM users WHERE id IN (1, 3) ORDER BY id")
+	want := [][]string{{"ann"}, {"cara"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("IN: got %v", got)
+	}
+	got = rows(t, e, "SELECT name FROM users WHERE age BETWEEN 25 AND 30 ORDER BY id")
+	want = [][]string{{"ann"}, {"bob"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("BETWEEN: got %v", got)
+	}
+}
+
+func TestLikeOperator(t *testing.T) {
+	e := newTestEngine(t)
+	got := rows(t, e, "SELECT name FROM users WHERE name LIKE 'c%'")
+	if len(got) != 1 || got[0][0] != "cara" {
+		t.Fatalf("LIKE: got %v", got)
+	}
+}
+
+func TestIndexScanMatchesSeqScan(t *testing.T) {
+	// Property: any sargable query returns the same rows with and without
+	// an index, and the indexed plan examines fewer rows.
+	rng := rand.New(rand.NewSource(31))
+	build := func(withIndex bool) *Engine {
+		e := New()
+		e.CreateTable("items", []Column{
+			{Name: "id", Type: IntCol},
+			{Name: "cat", Type: IntCol},
+			{Name: "price", Type: FloatCol},
+		})
+		r := rand.New(rand.NewSource(77))
+		for i := 0; i < 3000; i++ {
+			e.InsertValues("items", []Value{
+				IntVal(int64(i)), IntVal(r.Int63n(50)), FloatVal(r.Float64() * 100),
+			})
+		}
+		if withIndex {
+			if _, _, err := e.CreateIndex("items", []string{"cat"}); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := e.CreateIndex("items", []string{"id"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return e
+	}
+	plain := build(false)
+	indexed := build(true)
+
+	queries := []string{
+		"SELECT id FROM items WHERE cat = %d ORDER BY id",
+		"SELECT id FROM items WHERE cat IN (%d, 7) ORDER BY id",
+		"SELECT id FROM items WHERE id BETWEEN %d AND 2100 ORDER BY id",
+		"SELECT COUNT(*) FROM items WHERE cat = %d AND price > 50",
+	}
+	for trial := 0; trial < 25; trial++ {
+		q := fmt.Sprintf(queries[trial%len(queries)], rng.Intn(50))
+		a, err := plain.Execute(q)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		b, err := indexed.Execute(q)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		if len(a.Rows) != len(b.Rows) {
+			t.Fatalf("%q: %d rows vs %d", q, len(a.Rows), len(b.Rows))
+		}
+		for i := range a.Rows {
+			for j := range a.Rows[i] {
+				if Compare(a.Rows[i][j], b.Rows[i][j]) != 0 {
+					t.Fatalf("%q: row %d mismatch: %v vs %v", q, i, a.Rows[i], b.Rows[i])
+				}
+			}
+		}
+		if b.Cost.RowsScanned >= a.Cost.RowsScanned && a.Cost.RowsScanned > 100 {
+			t.Fatalf("%q: index did not reduce scanned rows (%d vs %d)", q, b.Cost.RowsScanned, a.Cost.RowsScanned)
+		}
+	}
+}
+
+func TestMultiColumnIndexPath(t *testing.T) {
+	e := New()
+	e.CreateTable("ev", []Column{
+		{Name: "a", Type: IntCol},
+		{Name: "b", Type: IntCol},
+		{Name: "v", Type: IntCol},
+	})
+	for i := 0; i < 1000; i++ {
+		e.InsertValues("ev", []Value{IntVal(int64(i % 10)), IntVal(int64(i % 100)), IntVal(int64(i))})
+	}
+	if _, _, err := e.CreateIndex("ev", []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Execute("SELECT v FROM ev WHERE a = 3 AND b = 13 ORDER BY v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(res.Rows))
+	}
+	if res.Cost.RowsScanned != 0 || res.Cost.RowsMatched != 10 {
+		t.Fatalf("cost = %+v, expected pure index path", res.Cost)
+	}
+}
+
+func TestCostAccounting(t *testing.T) {
+	e := newTestEngine(t)
+	res, err := e.Execute("SELECT name FROM users WHERE age > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.RowsScanned != 4 || res.Cost.RowsReturned != 4 {
+		t.Fatalf("cost = %+v", res.Cost)
+	}
+	if res.Cost.Units() <= 0 {
+		t.Fatal("units must be positive")
+	}
+}
+
+func TestEarlyLimitStopsScan(t *testing.T) {
+	e := New()
+	e.CreateTable("big", []Column{{Name: "id", Type: IntCol}})
+	for i := 0; i < 10000; i++ {
+		e.InsertValues("big", []Value{IntVal(int64(i))})
+	}
+	res, err := e.Execute("SELECT id FROM big LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Cost.RowsScanned > 10 {
+		t.Fatalf("early limit scanned %d rows", res.Cost.RowsScanned)
+	}
+}
+
+func TestExecuteErrors(t *testing.T) {
+	e := newTestEngine(t)
+	bad := []string{
+		"SELECT x FROM missing",
+		"SELECT missing_col FROM users",
+		"INSERT INTO users (nope) VALUES (1)",
+		"UPDATE users SET nope = 1",
+		"SELECT a FROM users WHERE ? = 1", // unbound placeholder
+	}
+	for _, q := range bad {
+		if _, err := e.Execute(q); err == nil {
+			t.Errorf("%q: expected error", q)
+		}
+	}
+}
+
+func TestDropIndex(t *testing.T) {
+	e := newTestEngine(t)
+	ix, _, err := e.CreateIndex("users", []string{"city"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.DropIndex("users", ix.Name); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.DropIndex("users", ix.Name); err == nil {
+		t.Fatal("double drop should fail")
+	}
+	if _, _, err := e.CreateIndex("users", []string{"nope"}); err == nil {
+		t.Fatal("index on missing column should fail")
+	}
+}
+
+func TestIndexMaintainedAcrossDML(t *testing.T) {
+	e := newTestEngine(t)
+	if _, _, err := e.CreateIndex("users", []string{"city"}); err != nil {
+		t.Fatal(err)
+	}
+	e.Execute("INSERT INTO users (id, name, age, city) VALUES (9, 'zed', 50, 'nyc')")
+	e.Execute("UPDATE users SET city = 'la' WHERE name = 'ann'")
+	e.Execute("DELETE FROM users WHERE name = 'cara'")
+	got := rows(t, e, "SELECT name FROM users WHERE city = 'nyc' ORDER BY id")
+	want := [][]string{{"zed"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("after DML: %v, want %v", got, want)
+	}
+	got = rows(t, e, "SELECT name FROM users WHERE city = 'la'")
+	if len(got) != 1 || got[0][0] != "ann" {
+		t.Fatalf("moved row not found via index: %v", got)
+	}
+}
+
+func TestValueCompareOrdering(t *testing.T) {
+	vals := []Value{Null, IntVal(-5), FloatVal(-2.5), IntVal(0), FloatVal(1.5), IntVal(7)}
+	sorted := append([]Value(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return Compare(sorted[i], sorted[j]) < 0 })
+	for i := 1; i < len(sorted); i++ {
+		if Compare(sorted[i-1], sorted[i]) > 0 {
+			t.Fatal("Compare not a total order")
+		}
+	}
+	if Compare(Null, IntVal(0)) != -1 {
+		t.Fatal("NULL must sort first")
+	}
+	if Compare(IntVal(2), FloatVal(2.0)) != 0 {
+		t.Fatal("numeric coercion broken")
+	}
+	if Compare(StringVal("a"), StringVal("b")) != -1 {
+		t.Fatal("string compare broken")
+	}
+	if Compare(maxSentinel, StringVal("zzz")) != 1 || Compare(maxSentinel, IntVal(1<<62)) != 1 {
+		t.Fatal("max sentinel must dominate")
+	}
+}
+
+func TestLikeMatch(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%o", true},
+		{"hello", "%ell%", true},
+		{"hello", "h_llo", true},
+		{"hello", "h_x", false},
+		{"", "%", true},
+		{"", "_", false},
+		{"abc", "", false},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.p); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v", c.s, c.p, got)
+		}
+	}
+}
+
+func TestParseNumber(t *testing.T) {
+	v, err := ParseNumber("42")
+	if err != nil || v.Kind != KindInt || v.Int != 42 {
+		t.Fatalf("42 → %+v, %v", v, err)
+	}
+	v, err = ParseNumber("2.5")
+	if err != nil || v.Kind != KindFloat || v.Float != 2.5 {
+		t.Fatalf("2.5 → %+v, %v", v, err)
+	}
+	v, err = ParseNumber("1e3")
+	if err != nil || v.Kind != KindFloat || v.Float != 1000 {
+		t.Fatalf("1e3 → %+v, %v", v, err)
+	}
+	if _, err := ParseNumber("abc"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestOrderByMultipleKeys(t *testing.T) {
+	e := newTestEngine(t)
+	got := rows(t, e, "SELECT status, amount FROM orders ORDER BY status ASC, amount DESC")
+	want := [][]string{
+		{"open", "40"}, {"open", "20"},
+		{"paid", "9.5"}, {"paid", "7.25"}, {"paid", "5"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestGroupByExpressionKey(t *testing.T) {
+	e := newTestEngine(t)
+	// Group by a derived bucket: amount rounded down by tens via division.
+	got := rows(t, e, "SELECT COUNT(*) FROM orders o GROUP BY o.status ORDER BY COUNT(*) DESC")
+	want := [][]string{{"3"}, {"2"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestUpdateWithArithmeticOnIndexedColumn(t *testing.T) {
+	e := newTestEngine(t)
+	if _, _, err := e.CreateIndex("orders", []string{"amount"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Execute("UPDATE orders SET amount = amount * 2 WHERE status = 'paid'"); err != nil {
+		t.Fatal(err)
+	}
+	// The index must reflect the new values.
+	got := rows(t, e, "SELECT id FROM orders WHERE amount = 19 ORDER BY id")
+	if len(got) != 1 || got[0][0] != "10" {
+		t.Fatalf("index stale after update: %v", got)
+	}
+}
+
+func TestInsertWithoutColumnList(t *testing.T) {
+	e := newTestEngine(t)
+	if _, err := e.Execute("INSERT INTO users VALUES (7, 'gil', 28, 'bos')"); err != nil {
+		t.Fatal(err)
+	}
+	got := rows(t, e, "SELECT name FROM users WHERE id = 7")
+	if len(got) != 1 || got[0][0] != "gil" {
+		t.Fatalf("positional insert: %v", got)
+	}
+	// Short rows leave trailing NULLs.
+	if _, err := e.Execute("INSERT INTO users VALUES (8, 'hana')"); err != nil {
+		t.Fatal(err)
+	}
+	got = rows(t, e, "SELECT name FROM users WHERE id = 8 AND age IS NULL")
+	if len(got) != 1 {
+		t.Fatalf("trailing NULLs missing: %v", got)
+	}
+}

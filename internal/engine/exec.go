@@ -1,0 +1,509 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qb5000/internal/sqlparse"
+)
+
+// Result is the outcome of executing one statement.
+type Result struct {
+	Columns []string
+	Rows    [][]Value
+	Cost    Cost
+}
+
+// Execute parses and executes one SQL statement.
+func (e *Engine) Execute(sql string) (*Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecuteStmt(stmt)
+}
+
+// ExecuteStmt executes a parsed statement.
+func (e *Engine) ExecuteStmt(stmt sqlparse.Statement) (*Result, error) {
+	switch s := stmt.(type) {
+	case *sqlparse.SelectStmt:
+		return e.execSelect(s)
+	case *sqlparse.InsertStmt:
+		return e.execInsert(s)
+	case *sqlparse.UpdateStmt:
+		return e.execUpdate(s)
+	case *sqlparse.DeleteStmt:
+		return e.execDelete(s)
+	default:
+		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+}
+
+// boundSource is one table in the join order.
+type boundSource struct {
+	alias string
+	table *Table
+	on    sqlparse.Expr // join condition for this source (nil for the first)
+}
+
+// scanSource iterates the rows of table t (bound as alias) that satisfy
+// `filter`, using an index when the filter is sargable under the current
+// binding. fn receives the row ID and row; returning false stops the scan.
+func (e *Engine) scanSource(t *Table, alias string, filter sqlparse.Expr, b *binding, cost *Cost, fn func(id int64, row []Value) (bool, error)) error {
+	emit := func(id int64, row []Value) (bool, error) {
+		b.push(alias, t, row)
+		ok := true
+		if filter != nil {
+			v, err := evalExpr(filter, b)
+			if err != nil {
+				b.pop()
+				return false, err
+			}
+			ok = v.Truthy()
+		}
+		b.pop()
+		if !ok {
+			return true, nil
+		}
+		return fn(id, row)
+	}
+
+	var path *accessPath
+	if filter != nil {
+		path = choosePath(t, extractSargs(filter, alias, t))
+	}
+	if path == nil {
+		for id, row := range t.rows {
+			if row == nil {
+				continue
+			}
+			cost.RowsScanned++
+			cont, err := emit(int64(id), row)
+			if err != nil || !cont {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Evaluate the key component expressions under the outer binding.
+	evalKey := func(ex sqlparse.Expr) (Value, error) { return evalExpr(ex, b) }
+	prefix := make(Key, 0, len(path.eq))
+	for _, ex := range path.eq {
+		v, err := evalKey(ex)
+		if err != nil {
+			return err
+		}
+		prefix = append(prefix, v)
+	}
+	ix := path.index
+
+	runRange := func(lo, hi Key) error {
+		cost.IndexPages += int64(ix.Height())
+		var inner error
+		stopped := false
+		ix.tree.Range(&lo, &hi, func(_ Key, id int64) bool {
+			row := t.rows[id]
+			if row == nil {
+				return true
+			}
+			cost.RowsMatched++
+			cont, err := emit(id, row)
+			if err != nil {
+				inner = err
+				return false
+			}
+			if !cont {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		_ = stopped
+		return inner
+	}
+
+	switch {
+	case path.inItems != nil:
+		for _, item := range path.inItems {
+			v, err := evalKey(item)
+			if err != nil {
+				return err
+			}
+			key := append(append(Key{}, prefix...), v)
+			if err := runRange(key, append(append(Key{}, key...), maxSentinel)); err != nil {
+				return err
+			}
+		}
+		return nil
+	case path.rangeSarg != nil:
+		s := path.rangeSarg
+		lo := append(Key{}, prefix...)
+		hi := append(append(Key{}, prefix...), maxSentinel)
+		switch s.op {
+		case "BETWEEN":
+			lv, err := evalKey(s.lo)
+			if err != nil {
+				return err
+			}
+			hv, err := evalKey(s.hi)
+			if err != nil {
+				return err
+			}
+			lo = append(lo, lv)
+			hi = append(append(Key{}, prefix...), hv, maxSentinel)
+		case "<", "<=":
+			v, err := evalKey(s.value)
+			if err != nil {
+				return err
+			}
+			hi = append(append(Key{}, prefix...), v, maxSentinel)
+		case ">", ">=":
+			v, err := evalKey(s.value)
+			if err != nil {
+				return err
+			}
+			lo = append(lo, v)
+		}
+		return runRange(lo, hi)
+	default:
+		// Pure equality prefix.
+		lo := append(Key{}, prefix...)
+		hi := append(append(Key{}, prefix...), maxSentinel)
+		return runRange(lo, hi)
+	}
+}
+
+// execSelect runs a SELECT with optional joins, grouping, ordering, and
+// limits.
+func (e *Engine) execSelect(s *sqlparse.SelectStmt) (*Result, error) {
+	var cost Cost
+	// Assemble the join order: FROM list first, then explicit JOINs.
+	var sources []boundSource
+	for _, tr := range s.From {
+		t, ok := e.Table(tr.Name)
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown table %q", tr.Name)
+		}
+		alias := strings.ToLower(tr.Alias)
+		if alias == "" {
+			alias = t.Name
+		}
+		sources = append(sources, boundSource{alias: alias, table: t})
+	}
+	for i := range s.Joins {
+		j := &s.Joins[i]
+		t, ok := e.Table(j.Table.Name)
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown table %q", j.Table.Name)
+		}
+		alias := strings.ToLower(j.Table.Alias)
+		if alias == "" {
+			alias = t.Name
+		}
+		sources = append(sources, boundSource{alias: alias, table: t, on: j.On})
+	}
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("engine: SELECT without FROM is not supported")
+	}
+
+	// Partition WHERE conjuncts by the earliest source position where all
+	// referenced tables are bound.
+	whereConj := conjuncts(s.Where)
+	perSource := make([][]sqlparse.Expr, len(sources))
+	for _, c := range whereConj {
+		placed := false
+		for i := range sources {
+			if refsOnlyBound(c, sources[:i+1]) {
+				perSource[i] = append(perSource[i], c)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("engine: predicate references unknown table: %s", sqlparse.ExprSQL(c))
+		}
+	}
+	for i := range sources {
+		if sources[i].on != nil {
+			perSource[i] = append(perSource[i], conjuncts(sources[i].on)...)
+		}
+	}
+
+	agg := newAggregator(s, sources)
+	b := &binding{}
+
+	// Early-exit optimization: a LIMIT with no ORDER BY, grouping, or
+	// DISTINCT can stop the scan as soon as enough rows are produced.
+	earlyLimit := -1
+	if s.Limit != nil && len(s.OrderBy) == 0 && !agg.grouped && !s.Distinct {
+		n, err := intLiteral(s.Limit)
+		if err == nil {
+			off := 0
+			if s.Offset != nil {
+				if o, err := intLiteral(s.Offset); err == nil {
+					off = o
+				}
+			}
+			earlyLimit = n + off
+		}
+	}
+
+	var joinFrom func(level int) (bool, error)
+	joinFrom = func(level int) (bool, error) {
+		if level == len(sources) {
+			cont, err := agg.consume(b, &cost)
+			if err != nil {
+				return false, err
+			}
+			if !cont {
+				return false, nil
+			}
+			if earlyLimit >= 0 && agg.produced() >= earlyLimit {
+				return false, nil
+			}
+			return true, nil
+		}
+		src := sources[level]
+		filter := andAll(perSource[level])
+		cont := true
+		err := e.scanSource(src.table, src.alias, filter, b, &cost, func(_ int64, row []Value) (bool, error) {
+			b.push(src.alias, src.table, row)
+			c, err := joinFrom(level + 1)
+			b.pop()
+			if err != nil {
+				return false, err
+			}
+			if !c {
+				cont = false
+				return false, nil
+			}
+			return true, nil
+		})
+		return cont, err
+	}
+	if _, err := joinFrom(0); err != nil {
+		return nil, err
+	}
+
+	rows, err := agg.finish(&cost)
+	if err != nil {
+		return nil, err
+	}
+
+	// ORDER BY.
+	if len(s.OrderBy) > 0 {
+		sort.SliceStable(rows, func(i, j int) bool {
+			for k := range s.OrderBy {
+				c := Compare(rows[i].orderKeys[k], rows[j].orderKeys[k])
+				if c == 0 {
+					continue
+				}
+				if s.OrderBy[k].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+
+	// DISTINCT.
+	if s.Distinct {
+		seen := make(map[string]bool, len(rows))
+		dedup := rows[:0]
+		for _, r := range rows {
+			k := rowKey(r.values)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			dedup = append(dedup, r)
+		}
+		rows = dedup
+	}
+
+	// OFFSET / LIMIT.
+	if s.Offset != nil {
+		off, err := intLiteral(s.Offset)
+		if err != nil {
+			return nil, err
+		}
+		if off > len(rows) {
+			off = len(rows)
+		}
+		rows = rows[off:]
+	}
+	if s.Limit != nil {
+		n, err := intLiteral(s.Limit)
+		if err != nil {
+			return nil, err
+		}
+		if n < len(rows) {
+			rows = rows[:n]
+		}
+	}
+
+	res := &Result{Columns: agg.columnNames(), Cost: cost}
+	for _, r := range rows {
+		res.Rows = append(res.Rows, r.values)
+	}
+	res.Cost.RowsReturned = int64(len(res.Rows))
+	return res, nil
+}
+
+func andAll(es []sqlparse.Expr) sqlparse.Expr {
+	var out sqlparse.Expr
+	for _, e := range es {
+		if out == nil {
+			out = e
+		} else {
+			out = &sqlparse.BinaryExpr{Op: "AND", Left: out, Right: e}
+		}
+	}
+	return out
+}
+
+func intLiteral(e sqlparse.Expr) (int, error) {
+	b := &binding{}
+	v, err := evalExpr(e, b)
+	if err != nil {
+		return 0, err
+	}
+	f, ok := v.AsFloat()
+	if !ok {
+		return 0, fmt.Errorf("engine: expected integer literal, got %s", v)
+	}
+	return int(f), nil
+}
+
+func rowKey(vals []Value) string {
+	var sb strings.Builder
+	for _, v := range vals {
+		sb.WriteString(v.String())
+		sb.WriteByte('\x00')
+	}
+	return sb.String()
+}
+
+// execInsert appends the statement's rows.
+func (e *Engine) execInsert(s *sqlparse.InsertStmt) (*Result, error) {
+	t, ok := e.Table(s.Table.Name)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %q", s.Table.Name)
+	}
+	var cost Cost
+	b := &binding{}
+	for _, exprRow := range s.Rows {
+		row := make([]Value, len(t.Columns))
+		for i := range row {
+			row[i] = Null
+		}
+		if len(s.Columns) > 0 {
+			if len(exprRow) != len(s.Columns) {
+				return nil, fmt.Errorf("engine: %d values for %d columns", len(exprRow), len(s.Columns))
+			}
+			for i, colName := range s.Columns {
+				pos, ok := t.ColumnIndex(colName)
+				if !ok {
+					return nil, fmt.Errorf("engine: unknown column %q in table %q", colName, t.Name)
+				}
+				v, err := evalExpr(exprRow[i], b)
+				if err != nil {
+					return nil, err
+				}
+				row[pos] = v
+			}
+		} else {
+			if len(exprRow) > len(t.Columns) {
+				return nil, fmt.Errorf("engine: %d values for %d columns", len(exprRow), len(t.Columns))
+			}
+			for i, ex := range exprRow {
+				v, err := evalExpr(ex, b)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+		}
+		t.insert(row)
+		cost.RowsModified++
+		cost.IndexPages += int64(len(t.indexes))
+	}
+	return &Result{Cost: cost}, nil
+}
+
+// execUpdate modifies matching rows.
+func (e *Engine) execUpdate(s *sqlparse.UpdateStmt) (*Result, error) {
+	t, ok := e.Table(s.Table.Name)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %q", s.Table.Name)
+	}
+	alias := strings.ToLower(s.Table.Alias)
+	if alias == "" {
+		alias = t.Name
+	}
+	var cost Cost
+	b := &binding{}
+	type pending struct {
+		id  int64
+		row []Value
+	}
+	var updates []pending
+	err := e.scanSource(t, alias, s.Where, b, &cost, func(id int64, row []Value) (bool, error) {
+		newRow := append([]Value(nil), row...)
+		b.push(alias, t, row)
+		for _, a := range s.Set {
+			pos, ok := t.ColumnIndex(a.Column)
+			if !ok {
+				b.pop()
+				return false, fmt.Errorf("engine: unknown column %q in table %q", a.Column, t.Name)
+			}
+			v, err := evalExpr(a.Value, b)
+			if err != nil {
+				b.pop()
+				return false, err
+			}
+			newRow[pos] = v
+		}
+		b.pop()
+		updates = append(updates, pending{id: id, row: newRow})
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, u := range updates {
+		t.update(u.id, u.row)
+		cost.RowsModified++
+	}
+	return &Result{Cost: cost}, nil
+}
+
+// execDelete removes matching rows.
+func (e *Engine) execDelete(s *sqlparse.DeleteStmt) (*Result, error) {
+	t, ok := e.Table(s.Table.Name)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %q", s.Table.Name)
+	}
+	alias := strings.ToLower(s.Table.Alias)
+	if alias == "" {
+		alias = t.Name
+	}
+	var cost Cost
+	b := &binding{}
+	var ids []int64
+	err := e.scanSource(t, alias, s.Where, b, &cost, func(id int64, _ []Value) (bool, error) {
+		ids = append(ids, id)
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids {
+		t.delete(id)
+		cost.RowsModified++
+	}
+	return &Result{Cost: cost}, nil
+}

@@ -1,0 +1,158 @@
+package engine
+
+import (
+	"testing"
+
+	"qb5000/internal/sqlparse"
+)
+
+// evalString evaluates a scalar SQL expression with no row context.
+func evalString(t *testing.T, expr string) Value {
+	t.Helper()
+	stmt, err := sqlparse.Parse("SELECT a FROM t WHERE " + expr)
+	if err != nil {
+		t.Fatalf("parse %q: %v", expr, err)
+	}
+	v, err := evalExpr(stmt.(*sqlparse.SelectStmt).Where, &binding{})
+	if err != nil {
+		t.Fatalf("eval %q: %v", expr, err)
+	}
+	return v
+}
+
+func TestArithmeticSemantics(t *testing.T) {
+	cases := []struct {
+		expr string
+		want Value
+	}{
+		{"1 + 2 = 3", BoolVal(true)},
+		{"7 % 3 = 1", BoolVal(true)},
+		{"2 * 3 + 1 = 7", BoolVal(true)},   // precedence
+		{"(1 + 2) * 3 = 9", BoolVal(true)}, // grouping
+		{"10 / 4 = 2.5", BoolVal(true)},    // division is float
+		{"1.5 + 1 = 2.5", BoolVal(true)},   // int/float coercion
+	}
+	for _, c := range cases {
+		if got := evalString(t, c.expr); got.Bool != c.want.Bool {
+			t.Errorf("%q = %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestNullSemantics(t *testing.T) {
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{"NULL IS NULL", true},
+		{"1 IS NULL", false},
+		{"1 IS NOT NULL", true},
+		{"NULL = NULL", false}, // SQL: NULL never equals anything
+		{"NULL != 1", false},   // comparisons with NULL are not true
+		{"1 + NULL IS NULL", true},
+	}
+	for _, c := range cases {
+		if got := evalString(t, c.expr); got.Truthy() != c.want {
+			t.Errorf("%q = %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestDivisionByZeroYieldsNull(t *testing.T) {
+	if got := evalString(t, "1 / 0 IS NULL"); !got.Truthy() {
+		t.Fatal("1/0 should be NULL")
+	}
+	if got := evalString(t, "1 % 0 IS NULL"); !got.Truthy() {
+		t.Fatal("1%0 should be NULL")
+	}
+}
+
+func TestBooleanShortCircuit(t *testing.T) {
+	// The right side would error (arithmetic on strings) if evaluated.
+	if got := evalString(t, "FALSE AND 'x' + 1 = 2"); got.Truthy() {
+		t.Fatal("FALSE AND ... must be false")
+	}
+	if got := evalString(t, "TRUE OR 'x' + 1 = 2"); !got.Truthy() {
+		t.Fatal("TRUE OR ... must be true")
+	}
+}
+
+func TestStringComparisons(t *testing.T) {
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{"'abc' = 'abc'", true},
+		{"'abc' < 'abd'", true},
+		{"'b' > 'a'", true},
+		{"'x' IN ('x', 'y')", true},
+		{"'z' NOT IN ('x', 'y')", true},
+		{"'hello' LIKE 'he%'", true},
+		{"'hello' BETWEEN 'ha' AND 'hz'", true},
+	}
+	for _, c := range cases {
+		if got := evalString(t, c.expr); got.Truthy() != c.want {
+			t.Errorf("%q = %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestUnresolvedColumnError(t *testing.T) {
+	stmt, _ := sqlparse.Parse("SELECT a FROM t WHERE mystery = 1")
+	if _, err := evalExpr(stmt.(*sqlparse.SelectStmt).Where, &binding{}); err == nil {
+		t.Fatal("expected unresolved-column error")
+	}
+}
+
+func TestBindingQualifiedResolution(t *testing.T) {
+	tb, err := newTable("t", []Column{{Name: "x", Type: IntCol}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub, err := newTable("u", []Column{{Name: "x", Type: IntCol}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &binding{}
+	b.push("t", tb, []Value{IntVal(1)})
+	b.push("u", ub, []Value{IntVal(2)})
+
+	// Unqualified x resolves to the innermost (most recently joined) table.
+	v, err := b.resolve(&sqlparse.ColumnRef{Column: "x"})
+	if err != nil || v.Int != 2 {
+		t.Fatalf("unqualified = %v, %v", v, err)
+	}
+	v, err = b.resolve(&sqlparse.ColumnRef{Table: "t", Column: "x"})
+	if err != nil || v.Int != 1 {
+		t.Fatalf("t.x = %v, %v", v, err)
+	}
+	// A qualifier that matches a table but not the column is an error.
+	if _, err := b.resolve(&sqlparse.ColumnRef{Table: "t", Column: "nope"}); err == nil {
+		t.Fatal("expected error for t.nope")
+	}
+}
+
+func TestValueTruthyAndString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want bool
+	}{
+		{BoolVal(true), true},
+		{BoolVal(false), false},
+		{IntVal(0), false},
+		{IntVal(3), true},
+		{FloatVal(0), false},
+		{FloatVal(0.1), true},
+		{StringVal(""), false},
+		{StringVal("x"), true},
+		{Null, false},
+	}
+	for _, c := range cases {
+		if c.v.Truthy() != c.want {
+			t.Errorf("Truthy(%v) = %v", c.v, c.v.Truthy())
+		}
+	}
+	if Null.String() != "NULL" || BoolVal(true).String() != "TRUE" {
+		t.Fatal("String() rendering broken")
+	}
+}

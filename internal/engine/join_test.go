@@ -1,0 +1,267 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+)
+
+// threeTableEngine: customers → orders → items.
+func threeTableEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := New()
+	e.CreateTable("customers", []Column{
+		{Name: "id", Type: IntCol}, {Name: "name", Type: StringCol},
+	})
+	e.CreateTable("orders2", []Column{
+		{Name: "id", Type: IntCol}, {Name: "cust_id", Type: IntCol},
+	})
+	e.CreateTable("items", []Column{
+		{Name: "order_id", Type: IntCol}, {Name: "sku", Type: StringCol},
+	})
+	e.InsertValues("customers", []Value{IntVal(1), StringVal("ann")})
+	e.InsertValues("customers", []Value{IntVal(2), StringVal("bob")})
+	e.InsertValues("orders2", []Value{IntVal(10), IntVal(1)})
+	e.InsertValues("orders2", []Value{IntVal(11), IntVal(2)})
+	e.InsertValues("items", []Value{IntVal(10), StringVal("hat")})
+	e.InsertValues("items", []Value{IntVal(10), StringVal("mug")})
+	e.InsertValues("items", []Value{IntVal(11), StringVal("pen")})
+	return e
+}
+
+func TestThreeWayJoin(t *testing.T) {
+	e := threeTableEngine(t)
+	got := rows(t, e,
+		"SELECT c.name, i.sku FROM customers c JOIN orders2 o ON c.id = o.cust_id JOIN items i ON o.id = i.order_id ORDER BY i.sku")
+	want := [][]string{{"ann", "hat"}, {"ann", "mug"}, {"bob", "pen"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestJoinUsesInnerIndex(t *testing.T) {
+	e := threeTableEngine(t)
+	// Without an index the inner table is scanned per outer row.
+	noIdx, err := e.Execute("SELECT i.sku FROM orders2 o JOIN items i ON o.id = i.order_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.CreateIndex("items", []string{"order_id"}); err != nil {
+		t.Fatal(err)
+	}
+	withIdx, err := e.Execute("SELECT i.sku FROM orders2 o JOIN items i ON o.id = i.order_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(noIdx.Rows) != len(withIdx.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(noIdx.Rows), len(withIdx.Rows))
+	}
+	if withIdx.Cost.RowsScanned >= noIdx.Cost.RowsScanned {
+		t.Fatalf("index probe did not reduce inner scans: %d vs %d",
+			withIdx.Cost.RowsScanned, noIdx.Cost.RowsScanned)
+	}
+	if withIdx.Cost.IndexPages == 0 {
+		t.Fatal("no index pages charged")
+	}
+}
+
+func TestJoinFilterPushdown(t *testing.T) {
+	e := threeTableEngine(t)
+	// The c.name filter only references the first table, so it must apply
+	// before the join fan-out.
+	got := rows(t, e,
+		"SELECT i.sku FROM customers c JOIN orders2 o ON c.id = o.cust_id JOIN items i ON o.id = i.order_id WHERE c.name = 'bob'")
+	want := [][]string{{"pen"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestJoinWithAggregates(t *testing.T) {
+	e := threeTableEngine(t)
+	got := rows(t, e,
+		"SELECT c.name, COUNT(*) FROM customers c JOIN orders2 o ON c.id = o.cust_id JOIN items i ON o.id = i.order_id GROUP BY c.name ORDER BY c.name")
+	want := [][]string{{"ann", "2"}, {"bob", "1"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	e := threeTableEngine(t)
+	bad := []string{
+		"SELECT NOSUCHFUNC(id) FROM customers",
+		"SELECT SUM(id, id) FROM customers",
+	}
+	for _, q := range bad {
+		if _, err := e.Execute(q); err == nil {
+			t.Errorf("%q: expected error", q)
+		}
+	}
+}
+
+func TestMinMaxOnStrings(t *testing.T) {
+	e := threeTableEngine(t)
+	got := rows(t, e, "SELECT MIN(sku), MAX(sku) FROM items")
+	want := [][]string{{"hat", "pen"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestCountColumnSkipsNulls(t *testing.T) {
+	e := New()
+	e.CreateTable("t", []Column{{Name: "a", Type: IntCol}})
+	e.InsertValues("t", []Value{IntVal(1)})
+	e.InsertValues("t", []Value{Null})
+	e.InsertValues("t", []Value{IntVal(3)})
+	got := rows(t, e, "SELECT COUNT(a), COUNT(*) FROM t")
+	want := [][]string{{"2", "3"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestCrossJoinWithoutCondition(t *testing.T) {
+	e := threeTableEngine(t)
+	res, err := e.Execute("SELECT c.id, o.id FROM customers c, orders2 o")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 { // 2 × 2 cartesian product
+		t.Fatalf("cross join rows = %d", len(res.Rows))
+	}
+}
+
+func TestDuplicateTableCreation(t *testing.T) {
+	e := New()
+	if _, err := e.CreateTable("t", []Column{{Name: "a"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CreateTable("T", []Column{{Name: "a"}}); err == nil {
+		t.Fatal("case-insensitive duplicate allowed")
+	}
+	if _, err := e.CreateTable("u", []Column{{Name: "a"}, {Name: "A"}}); err == nil {
+		t.Fatal("duplicate column allowed")
+	}
+}
+
+func TestInsertValueCountMismatch(t *testing.T) {
+	e := New()
+	e.CreateTable("t", []Column{{Name: "a"}})
+	if err := e.InsertValues("t", []Value{IntVal(1), IntVal(2)}); err == nil {
+		t.Fatal("too many values accepted")
+	}
+	if err := e.InsertValues("missing", []Value{IntVal(1)}); err == nil {
+		t.Fatal("missing table accepted")
+	}
+}
+
+func TestHavingWithArithmeticOnAggregates(t *testing.T) {
+	e := newTestEngine(t)
+	// HAVING with aggregate arithmetic and comparison exercises the
+	// aggregate-context evaluator's operators.
+	got := rows(t, e,
+		"SELECT o.user_id FROM orders o GROUP BY o.user_id HAVING SUM(o.amount) / COUNT(*) > 10 ORDER BY o.user_id")
+	want := [][]string{{"1"}, {"3"}} // avg 14.75 and 22.5 qualify; user 2 avg 7.25
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	got = rows(t, e,
+		"SELECT o.user_id FROM orders o GROUP BY o.user_id HAVING COUNT(*) > 1 AND SUM(o.amount) < 40 ORDER BY o.user_id")
+	want = [][]string{{"1"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("AND in HAVING: got %v, want %v", got, want)
+	}
+	got = rows(t, e,
+		"SELECT o.user_id FROM orders o GROUP BY o.user_id HAVING NOT COUNT(*) > 1 ORDER BY o.user_id")
+	want = [][]string{{"2"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("NOT in HAVING: got %v, want %v", got, want)
+	}
+}
+
+func TestOrderByAggregateValue(t *testing.T) {
+	e := newTestEngine(t)
+	got := rows(t, e,
+		"SELECT o.user_id, SUM(o.amount) FROM orders o GROUP BY o.user_id ORDER BY SUM(o.amount) DESC")
+	want := [][]string{{"3", "45"}, {"1", "29.5"}, {"2", "7.25"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestSumAvgOnEmptyGroupIsNull(t *testing.T) {
+	e := New()
+	e.CreateTable("t", []Column{{Name: "a", Type: IntCol}})
+	e.InsertValues("t", []Value{Null})
+	got := rows(t, e, "SELECT SUM(a), AVG(a), MIN(a), MAX(a) FROM t")
+	want := [][]string{{"NULL", "NULL", "NULL", "NULL"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestSumFloatVsInt(t *testing.T) {
+	e := New()
+	e.CreateTable("t", []Column{{Name: "a", Type: FloatCol}})
+	e.InsertValues("t", []Value{IntVal(1)})
+	e.InsertValues("t", []Value{FloatVal(2.5)})
+	got := rows(t, e, "SELECT SUM(a) FROM t")
+	if got[0][0] != "3.5" {
+		t.Fatalf("mixed SUM = %v", got)
+	}
+}
+
+func TestTablesAndIndexNameHelpers(t *testing.T) {
+	e := newTestEngine(t)
+	tables := e.Tables()
+	if len(tables) != 2 || tables[0].Name != "orders" || tables[1].Name != "users" {
+		t.Fatalf("Tables() = %v", tables)
+	}
+	if IndexName("Users", []string{"City", "age"}) != "idx_users_city_age" {
+		t.Fatalf("IndexName = %q", IndexName("Users", []string{"City", "age"}))
+	}
+	ix, _, err := e.CreateIndex("users", []string{"city"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 4 {
+		t.Fatalf("index Len = %d", ix.Len())
+	}
+	tbl, _ := e.Table("users")
+	if !tbl.HasIndexOn([]string{"CITY"}) {
+		t.Fatal("HasIndexOn case-insensitivity broken")
+	}
+	if tbl.HasIndexOn([]string{"city", "age"}) {
+		t.Fatal("HasIndexOn matched wrong column set")
+	}
+}
+
+func TestCostAdd(t *testing.T) {
+	a := Cost{RowsScanned: 1, IndexPages: 2, RowsMatched: 3, RowsReturned: 4, RowsModified: 5}
+	b := a
+	a.Add(b)
+	if a.RowsScanned != 2 || a.RowsModified != 10 {
+		t.Fatalf("Add = %+v", a)
+	}
+	if a.Units() <= b.Units() {
+		t.Fatal("Units must grow with cost")
+	}
+}
+
+func TestMirroredComparisons(t *testing.T) {
+	// Literal-on-the-left comparisons exercise the mirrored sargable path.
+	e := newTestEngine(t)
+	if _, _, err := e.CreateIndex("users", []string{"age"}); err != nil {
+		t.Fatal(err)
+	}
+	got := rows(t, e, "SELECT name FROM users WHERE 30 <= age ORDER BY id")
+	want := [][]string{{"ann"}, {"cara"}, {"dan"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	got = rows(t, e, "SELECT name FROM users WHERE 25 = age")
+	if len(got) != 1 || got[0][0] != "bob" {
+		t.Fatalf("mirrored equality: %v", got)
+	}
+}

@@ -1,0 +1,264 @@
+package engine
+
+import (
+	"strings"
+
+	"qb5000/internal/sqlparse"
+)
+
+// conjuncts flattens an expression tree on AND, stripping parentheses.
+func conjuncts(e sqlparse.Expr) []sqlparse.Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *sqlparse.ParenExpr:
+		return conjuncts(x.Inner)
+	case *sqlparse.BinaryExpr:
+		if x.Op == "AND" {
+			return append(conjuncts(x.Left), conjuncts(x.Right)...)
+		}
+	}
+	return []sqlparse.Expr{e}
+}
+
+// refsTable reports whether the expression references a column of the given
+// table binding (alias or table name), or any unqualified column that the
+// table defines.
+func refsTable(e sqlparse.Expr, alias string, t *Table) bool {
+	found := false
+	walkExprTree(e, func(x sqlparse.Expr) {
+		c, ok := x.(*sqlparse.ColumnRef)
+		if !ok || found {
+			return
+		}
+		qual := strings.ToLower(c.Table)
+		if qual == alias || qual == t.Name {
+			found = true
+			return
+		}
+		if qual == "" {
+			if _, ok := t.ColumnIndex(c.Column); ok {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+// refsOnlyBound reports whether every column reference in e resolves within
+// the given set of bound aliases/tables.
+func refsOnlyBound(e sqlparse.Expr, bound []boundSource) bool {
+	ok := true
+	walkExprTree(e, func(x sqlparse.Expr) {
+		c, isCol := x.(*sqlparse.ColumnRef)
+		if !isCol || !ok {
+			return
+		}
+		qual := strings.ToLower(c.Table)
+		for _, b := range bound {
+			if qual != "" {
+				if qual == b.alias || qual == b.table.Name {
+					return
+				}
+				continue
+			}
+			if _, has := b.table.ColumnIndex(c.Column); has {
+				return
+			}
+		}
+		ok = false
+	})
+	return ok
+}
+
+// walkExprTree visits every node of an expression tree (read-only).
+func walkExprTree(e sqlparse.Expr, fn func(sqlparse.Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *sqlparse.BinaryExpr:
+		walkExprTree(x.Left, fn)
+		walkExprTree(x.Right, fn)
+	case *sqlparse.NotExpr:
+		walkExprTree(x.Inner, fn)
+	case *sqlparse.ParenExpr:
+		walkExprTree(x.Inner, fn)
+	case *sqlparse.InExpr:
+		walkExprTree(x.Left, fn)
+		for _, it := range x.Items {
+			walkExprTree(it, fn)
+		}
+	case *sqlparse.BetweenExpr:
+		walkExprTree(x.Left, fn)
+		walkExprTree(x.Lo, fn)
+		walkExprTree(x.Hi, fn)
+	case *sqlparse.IsNullExpr:
+		walkExprTree(x.Left, fn)
+	case *sqlparse.FuncCall:
+		for _, a := range x.Args {
+			walkExprTree(a, fn)
+		}
+	}
+}
+
+// sarg is one index-usable predicate on a column of the scanned table.
+type sarg struct {
+	column string
+	op     string          // "=", "<", "<=", ">", ">=", "IN", "BETWEEN"
+	value  sqlparse.Expr   // RHS for single-value ops
+	values []sqlparse.Expr // IN items
+	lo, hi sqlparse.Expr   // BETWEEN bounds
+}
+
+// extractSargs pulls the index-usable predicates on table t (bound as alias)
+// whose right-hand sides are computable from the outer binding (i.e. do not
+// reference t itself).
+func extractSargs(where sqlparse.Expr, alias string, t *Table) map[string][]sarg {
+	out := make(map[string][]sarg)
+	for _, c := range conjuncts(where) {
+		switch x := c.(type) {
+		case *sqlparse.BinaryExpr:
+			col, rhs, op := matchColumnOp(x, alias, t)
+			if col == "" {
+				continue
+			}
+			out[col] = append(out[col], sarg{column: col, op: op, value: rhs})
+		case *sqlparse.InExpr:
+			if x.Negated {
+				continue
+			}
+			col := columnOf(x.Left, alias, t)
+			if col == "" || anyRefsTable(x.Items, alias, t) {
+				continue
+			}
+			out[col] = append(out[col], sarg{column: col, op: "IN", values: x.Items})
+		case *sqlparse.BetweenExpr:
+			if x.Negated {
+				continue
+			}
+			col := columnOf(x.Left, alias, t)
+			if col == "" || refsTable(x.Lo, alias, t) || refsTable(x.Hi, alias, t) {
+				continue
+			}
+			out[col] = append(out[col], sarg{column: col, op: "BETWEEN", lo: x.Lo, hi: x.Hi})
+		}
+	}
+	return out
+}
+
+func anyRefsTable(es []sqlparse.Expr, alias string, t *Table) bool {
+	for _, e := range es {
+		if refsTable(e, alias, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// matchColumnOp recognizes `t.col op expr` (or mirrored) where expr does not
+// reference t.
+func matchColumnOp(x *sqlparse.BinaryExpr, alias string, t *Table) (col string, rhs sqlparse.Expr, op string) {
+	switch x.Op {
+	case "=", "<", "<=", ">", ">=":
+	default:
+		return "", nil, ""
+	}
+	if c := columnOf(x.Left, alias, t); c != "" && !refsTable(x.Right, alias, t) {
+		return c, x.Right, x.Op
+	}
+	if c := columnOf(x.Right, alias, t); c != "" && !refsTable(x.Left, alias, t) {
+		return c, x.Left, mirrorOp(x.Op)
+	}
+	return "", nil, ""
+}
+
+func mirrorOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	default:
+		return op
+	}
+}
+
+// columnOf returns the lower-case column name if e is a reference to a
+// column of table t under alias, else "".
+func columnOf(e sqlparse.Expr, alias string, t *Table) string {
+	c, ok := e.(*sqlparse.ColumnRef)
+	if !ok {
+		return ""
+	}
+	qual := strings.ToLower(c.Table)
+	if qual != "" && qual != alias && qual != t.Name {
+		return ""
+	}
+	col := strings.ToLower(c.Column)
+	if _, has := t.ColumnIndex(col); !has {
+		return ""
+	}
+	return col
+}
+
+// accessPath is the chosen way to read a table.
+type accessPath struct {
+	index *Index
+	// eq holds the equality RHS expressions for the index's leading
+	// columns; rangeSarg optionally bounds the next column.
+	eq        []sqlparse.Expr
+	inItems   []sqlparse.Expr // IN expansion on the column after eq prefix
+	rangeSarg *sarg
+	score     int
+}
+
+// choosePath picks the best index for the sargs, preferring the longest
+// equality prefix, then an IN, then a range bound. Returns nil for a
+// sequential scan.
+func choosePath(t *Table, sargs map[string][]sarg) *accessPath {
+	var best *accessPath
+	for _, ix := range t.Indexes() {
+		path := &accessPath{index: ix}
+		for _, col := range ix.Columns {
+			var eqRHS sqlparse.Expr
+			var inS, rangeS *sarg
+			for i := range sargs[col] {
+				s := &sargs[col][i]
+				switch s.op {
+				case "=":
+					eqRHS = s.value
+				case "IN":
+					inS = s
+				default:
+					rangeS = s
+				}
+			}
+			if eqRHS != nil {
+				path.eq = append(path.eq, eqRHS)
+				path.score += 3
+				continue
+			}
+			if inS != nil {
+				path.inItems = inS.values
+				path.score += 2
+			} else if rangeS != nil {
+				path.rangeSarg = rangeS
+				path.score++
+			}
+			break // prefix consumed
+		}
+		if path.score == 0 {
+			continue
+		}
+		if best == nil || path.score > best.score {
+			best = path
+		}
+	}
+	return best
+}

@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qb5000/internal/btree"
+)
+
+// ColumnType declares a column's storage type.
+type ColumnType int
+
+// Column types.
+const (
+	IntCol ColumnType = iota
+	FloatCol
+	StringCol
+	BoolCol
+)
+
+// Column is a table column definition.
+type Column struct {
+	Name string
+	Type ColumnType
+}
+
+// Table is a heap table with optional secondary indexes. Row IDs are slot
+// positions; deleted slots are nil.
+type Table struct {
+	Name    string
+	Columns []Column
+	colIdx  map[string]int
+	rows    [][]Value
+	live    int
+	indexes map[string]*Index
+}
+
+// Index is a (possibly multi-column) secondary index.
+type Index struct {
+	Name    string
+	Table   string
+	Columns []string
+	cols    []int // resolved column positions
+	tree    *btree.Tree[Key]
+}
+
+// Len returns the number of (key, row) entries in the index.
+func (ix *Index) Len() int { return ix.tree.Len() }
+
+// Height returns the B+Tree height; the cost model charges one page per
+// level on a probe.
+func (ix *Index) Height() int { return ix.tree.Height() }
+
+func newTable(name string, cols []Column) (*Table, error) {
+	t := &Table{
+		Name:    strings.ToLower(name),
+		Columns: cols,
+		colIdx:  make(map[string]int, len(cols)),
+		indexes: make(map[string]*Index),
+	}
+	for i, c := range cols {
+		lc := strings.ToLower(c.Name)
+		if _, dup := t.colIdx[lc]; dup {
+			return nil, fmt.Errorf("engine: duplicate column %q in table %q", c.Name, name)
+		}
+		t.Columns[i].Name = lc
+		t.colIdx[lc] = i
+	}
+	return t, nil
+}
+
+// ColumnIndex resolves a column name to its position.
+func (t *Table) ColumnIndex(name string) (int, bool) {
+	i, ok := t.colIdx[strings.ToLower(name)]
+	return i, ok
+}
+
+// RowCount returns the number of live rows.
+func (t *Table) RowCount() int { return t.live }
+
+// Indexes returns the table's indexes sorted by name.
+func (t *Table) Indexes() []*Index {
+	out := make([]*Index, 0, len(t.indexes))
+	for _, ix := range t.indexes {
+		out = append(out, ix)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// HasIndexOn reports whether an index with exactly these columns exists.
+func (t *Table) HasIndexOn(cols []string) bool {
+	for _, ix := range t.indexes {
+		if len(ix.Columns) != len(cols) {
+			continue
+		}
+		match := true
+		for i, c := range cols {
+			if ix.Columns[i] != strings.ToLower(c) {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// insert appends a row and maintains indexes, returning the row ID.
+func (t *Table) insert(row []Value) int64 {
+	id := int64(len(t.rows))
+	t.rows = append(t.rows, row)
+	t.live++
+	for _, ix := range t.indexes {
+		ix.tree.Insert(ix.keyFor(row), id)
+	}
+	return id
+}
+
+// delete removes the row at id, maintaining indexes.
+func (t *Table) delete(id int64) {
+	row := t.rows[id]
+	if row == nil {
+		return
+	}
+	for _, ix := range t.indexes {
+		ix.tree.Delete(ix.keyFor(row), id)
+	}
+	t.rows[id] = nil
+	t.live--
+}
+
+// update replaces the row at id, maintaining indexes.
+func (t *Table) update(id int64, newRow []Value) {
+	old := t.rows[id]
+	for _, ix := range t.indexes {
+		oldKey, newKey := ix.keyFor(old), ix.keyFor(newRow)
+		if !keysEqual(oldKey, newKey) {
+			ix.tree.Delete(oldKey, id)
+			ix.tree.Insert(newKey, id)
+		}
+	}
+	t.rows[id] = newRow
+}
+
+func keysEqual(a, b Key) bool {
+	return !KeyLess(a, b) && !KeyLess(b, a)
+}
+
+func (ix *Index) keyFor(row []Value) Key {
+	k := make(Key, len(ix.cols))
+	for i, c := range ix.cols {
+		k[i] = row[c]
+	}
+	return k
+}

@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomValue(rng *rand.Rand) Value {
+	switch rng.Intn(5) {
+	case 0:
+		return Null
+	case 1:
+		return IntVal(rng.Int63n(2000) - 1000)
+	case 2:
+		return FloatVal((rng.Float64() - 0.5) * 2000)
+	case 3:
+		return StringVal(string(rune('a' + rng.Intn(26))))
+	default:
+		return BoolVal(rng.Intn(2) == 0)
+	}
+}
+
+// TestCompareTotalOrderProperty: Compare must be antisymmetric and
+// transitive over random triples, or the B+Tree invariants break.
+func TestCompareTotalOrderProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 5000; trial++ {
+		a, b, c := randomValue(rng), randomValue(rng), randomValue(rng)
+		if Compare(a, b) != -Compare(b, a) {
+			t.Fatalf("antisymmetry violated for %v, %v", a, b)
+		}
+		if Compare(a, b) <= 0 && Compare(b, c) <= 0 && Compare(a, c) > 0 {
+			t.Fatalf("transitivity violated for %v ≤ %v ≤ %v", a, b, c)
+		}
+	}
+}
+
+// TestKeyLessStrictWeakOrder: composite keys must order consistently.
+func TestKeyLessStrictWeakOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	randKey := func() Key {
+		k := make(Key, 1+rng.Intn(3))
+		for i := range k {
+			k[i] = randomValue(rng)
+		}
+		return k
+	}
+	for trial := 0; trial < 5000; trial++ {
+		a, b := randKey(), randKey()
+		if KeyLess(a, b) && KeyLess(b, a) {
+			t.Fatalf("both a<b and b<a for %v, %v", a, b)
+		}
+	}
+	// Prefix ordering: a shorter key that is a prefix sorts first.
+	if !KeyLess(Key{IntVal(1)}, Key{IntVal(1), IntVal(0)}) {
+		t.Fatal("prefix must sort before extension")
+	}
+}
+
+// TestLikeMatchAgainstNaive compares the recursive matcher with a simple
+// dynamic-programming reference on random strings/patterns.
+func TestLikeMatchAgainstNaive(t *testing.T) {
+	naive := func(s, p string) bool {
+		// DP over (i, j).
+		dp := make([][]bool, len(s)+1)
+		for i := range dp {
+			dp[i] = make([]bool, len(p)+1)
+		}
+		dp[0][0] = true
+		for j := 1; j <= len(p); j++ {
+			if p[j-1] == '%' {
+				dp[0][j] = dp[0][j-1]
+			}
+		}
+		for i := 1; i <= len(s); i++ {
+			for j := 1; j <= len(p); j++ {
+				switch p[j-1] {
+				case '%':
+					dp[i][j] = dp[i][j-1] || dp[i-1][j]
+				case '_':
+					dp[i][j] = dp[i-1][j-1]
+				default:
+					dp[i][j] = dp[i-1][j-1] && s[i-1] == p[j-1]
+				}
+			}
+		}
+		return dp[len(s)][len(p)]
+	}
+	f := func(sRaw, pRaw []byte) bool {
+		alphabet := []byte("ab%_")
+		s := make([]byte, len(sRaw)%8)
+		p := make([]byte, len(pRaw)%8)
+		for i := range s {
+			s[i] = alphabet[int(sRaw[i])%2] // strings from {a,b}
+		}
+		for i := range p {
+			p[i] = alphabet[int(pRaw[i])%4] // patterns from {a,b,%,_}
+		}
+		return likeMatch(string(s), string(p)) == naive(string(s), string(p))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+// Package experiments regenerates every table and figure from the paper's
+// evaluation (§7 and appendices A–D) on the synthetic traces. Each
+// experiment prints the same rows/series the paper reports; EXPERIMENTS.md
+// records how the measured shapes compare with the published ones.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Options configure a run.
+type Options struct {
+	// Seed drives all randomness; the default (0) means seed 1.
+	Seed int64
+	// Quick shrinks training epochs, sweep points, and replay spans so the
+	// whole suite finishes in a few minutes. Shapes are preserved; absolute
+	// numbers are noisier.
+	Quick bool
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// Func runs one experiment, writing its report to w.
+type Func func(opt Options, w io.Writer) error
+
+// registry maps experiment IDs to implementations and descriptions.
+var registry = map[string]struct {
+	fn   Func
+	desc string
+}{}
+
+func register(id, desc string, fn Func) {
+	registry[id] = struct {
+		fn   Func
+		desc string
+	}{fn, desc}
+}
+
+// IDs returns the registered experiment IDs in a stable order: tables first,
+// then figures in paper order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return expOrder(out[i]) < expOrder(out[j]) })
+	return out
+}
+
+func expOrder(id string) string {
+	// "table1" < "table2" < ... < "fig1" < "fig3" < ... via zero-padding.
+	var kind string
+	var n int
+	if _, err := fmt.Sscanf(id, "table%d", &n); err == nil {
+		kind = "a"
+	} else if _, err := fmt.Sscanf(id, "fig%d", &n); err == nil {
+		kind = "b"
+	} else {
+		return "z" + id
+	}
+	return fmt.Sprintf("%s%03d", kind, n)
+}
+
+// Describe returns the one-line description of an experiment.
+func Describe(id string) (string, bool) {
+	e, ok := registry[id]
+	return e.desc, ok
+}
+
+// Run executes one experiment by ID.
+func Run(id string, opt Options, w io.Writer) error {
+	e, ok := registry[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	fmt.Fprintf(w, "== %s: %s ==\n", id, e.desc)
+	return e.fn(opt, w)
+}
+
+// RunAll executes every experiment in order.
+func RunAll(opt Options, w io.Writer) error {
+	for _, id := range IDs() {
+		if err := Run(id, opt, w); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "table2", "table3", "table4",
+		"fig1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+		"abl-ensemble", "abl-featuresize", "abl-interval", "abl-kdtree",
+	}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d: %v", len(ids), len(want), ids)
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Fatalf("order mismatch at %d: %v", i, ids)
+		}
+		if _, ok := Describe(id); !ok {
+			t.Fatalf("no description for %s", id)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("nope", Options{}, &buf); err == nil {
+		t.Fatal("expected unknown-experiment error")
+	}
+}
+
+// TestFastExperimentsProduceOutput runs the cheap experiments end-to-end in
+// quick mode and sanity-checks their reports. The expensive ones (fig7,
+// fig9–fig12, fig15, fig16) are exercised by the benchmark harness.
+func TestFastExperimentsProduceOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiments still replay days of trace")
+	}
+	cases := map[string][]string{
+		"table1":     {"admissions", "bustracker", "mooc", "SELECT%"},
+		"table2":     {"reduction ratio"},
+		"table3":     {"PSRNN", "kernel"},
+		"table4":     {"Pre-Processor", "RNN"},
+		"fig1":       {"BusTracker cycles", "deadline", "distinct templates"},
+		"fig3":       {"largest cluster", "query 1"},
+		"fig5":       {"top-5"},
+		"fig6":       {"4+"},
+		"fig13":      {"rho=0.9"},
+		"fig14":      {"1-hour horizon"},
+		"fig17":      {"re-clustered", "predicted"},
+		"abl-kdtree": {"brute force"},
+	}
+	for id, substrings := range cases {
+		var buf bytes.Buffer
+		if err := Run(id, Options{Quick: true, Seed: 1}, &buf); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		out := buf.String()
+		for _, sub := range substrings {
+			if !strings.Contains(out, sub) {
+				t.Errorf("%s output missing %q:\n%s", id, sub, out)
+			}
+		}
+	}
+}

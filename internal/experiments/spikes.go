@@ -1,0 +1,374 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"math"
+
+	"qb5000/internal/cluster"
+	"qb5000/internal/forecast"
+	"qb5000/internal/mat"
+	"qb5000/internal/timeseries"
+	"qb5000/internal/workload"
+)
+
+func init() {
+	register("fig9", "Spike prediction: LR/KR/RNN/ENSEMBLE on Admissions deadlines (Figure 9)", fig9)
+	register("fig15", "PCA projection of the KR input space (Figure 15, Appendix B)", fig15)
+	register("fig16", "HYBRID gamma-threshold sensitivity (Figure 16, Appendix C)", fig16)
+}
+
+// admissionsHourly replays the full two-cycle Admissions trace and returns
+// the total hourly arrival series (sum over all templates). The long history
+// is what lets KR recognize the previous year's deadline spikes.
+func admissionsHourly(opt Options) (*timeseries.Series, error) {
+	wl := workload.Admissions(opt.seed())
+	from, to := wl.Start, wl.End
+	if opt.Quick {
+		// Keep both years' deadline seasons but trim the quiet spring.
+		// (The spike model needs the 2016 spikes as training data.)
+		from = time.Date(2016, time.October, 15, 0, 0, 0, 0, time.UTC)
+	}
+	total := timeseries.NewSeries(from, time.Hour)
+	err := wl.Replay(from, to, time.Hour, func(ev workload.Event) error {
+		total.Add(ev.At, float64(ev.Count))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return total, nil
+}
+
+// admissionsClusterMatrix replays the full Admissions trace, clusters it,
+// and returns the hourly log matrix of per-cluster *total* volume (center ×
+// member count) for the top clusters, so the column sum reconstructs the
+// combined workload that Figure 9 plots. Forecasting per cluster is what
+// separates the applicant run-up pattern from the post-deadline faculty
+// review pattern — on the aggregate series the two are indistinguishable.
+func admissionsClusterMatrix(opt Options) (hist *mat.Matrix, start time.Time, err error) {
+	wl := workload.Admissions(opt.seed())
+	from, to := wl.Start, wl.End
+	if opt.Quick {
+		from = time.Date(2016, time.October, 15, 0, 0, 0, 0, time.UTC)
+	}
+	ct, err := buildClusters(wl, from, to, time.Hour, 0.8, cluster.ArrivalRate, opt.seed())
+	if err != nil {
+		return nil, time.Time{}, err
+	}
+	top := ct.topClusters(0.98, 5)
+	rows := int(to.Sub(from) / time.Hour)
+	hist = mat.New(rows, len(top))
+	for j, cl := range top {
+		// Accumulate member volumes from the pre-aggregated hourly tier
+		// (compacted history + aggregated fine bins).
+		sum := make([]float64, rows)
+		for _, t := range cl.Members {
+			full := t.History.FullHourly()
+			for i := 0; i < rows; i++ {
+				sum[i] += full.At(from.Add(time.Duration(i) * time.Hour))
+			}
+		}
+		for i := 0; i < rows; i++ {
+			hist.Set(i, j, timeseries.Log1pClamped(sum[i]))
+		}
+	}
+	return hist, from, nil
+}
+
+// seriesLogMatrix converts a single series to a 1-column log matrix.
+func seriesLogMatrix(s *timeseries.Series) *mat.Matrix {
+	m := mat.New(s.Len(), 1)
+	for i, v := range s.Data {
+		m.Set(i, 0, timeseries.Log1pClamped(v))
+	}
+	return m
+}
+
+// spikeEval walks the Nov 15 – Dec 31 (2017) span with a one-week horizon
+// and returns per-model predictions. KR sees the full history (504-hour
+// input window); the other models train on the three weeks preceding the
+// evaluation and read a one-day window, per §6.2/§7.3.
+type spikeSeries struct {
+	times  []time.Time
+	actual []float64
+	preds  map[string][]float64 // linear space, queries/hour
+}
+
+func spikeEval(opt Options, gammas []float64) (*spikeSeries, error) {
+	hist, start, err := admissionsClusterMatrix(opt)
+	if err != nil {
+		return nil, err
+	}
+	idxOf := func(t time.Time) int { return int(t.Sub(start) / time.Hour) }
+
+	evalFrom := idxOf(time.Date(2017, time.November, 15, 0, 0, 0, 0, time.UTC))
+	evalTo := idxOf(time.Date(2017, time.December, 31, 0, 0, 0, 0, time.UTC))
+	if evalTo > hist.Rows {
+		evalTo = hist.Rows
+	}
+	const horizon = 168 // one week ahead
+	const lag = 24
+	const krLag = 504 // three weeks of hourly context (§6.2)
+
+	// Train LR/RNN on the three weeks before the evaluation span.
+	trainTo := evalFrom - horizon
+	trainFrom := trainTo - 21*24
+	if trainFrom < lag {
+		trainFrom = lag
+	}
+	cfg := forecast.Config{Lag: lag, Horizon: horizon, Outputs: hist.Cols, Seed: opt.seed(), Epochs: rnnEpochs(opt)}
+	lr, err := forecast.NewLR(cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	rnn, err := forecast.NewRNN(cfg, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	trainSlice := subMatrix(hist, trainFrom-lag, trainTo)
+	if err := lr.Fit(trainSlice); err != nil {
+		return nil, err
+	}
+	if err := rnn.Fit(trainSlice); err != nil {
+		return nil, err
+	}
+	// KR trains on the entire history up to the evaluation start.
+	krCfg := forecast.Config{Lag: krLag, Horizon: horizon, Outputs: hist.Cols, Seed: opt.seed()}
+	kr, err := forecast.NewKR(krCfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := kr.Fit(subMatrix(hist, 0, evalFrom)); err != nil {
+		return nil, err
+	}
+
+	// combine sums per-cluster predictions into total queries/hour.
+	combine := func(logs []float64) float64 {
+		var sum float64
+		for _, v := range logs {
+			sum += timeseries.Expm1Clamped(v)
+		}
+		return sum
+	}
+
+	out := &spikeSeries{preds: map[string][]float64{}}
+	stride := (evalTo - evalFrom) / 150
+	if stride < 1 {
+		stride = 1
+	}
+	for t := evalFrom; t < evalTo; t += stride {
+		base := t - horizon // prediction made one week earlier
+		if base-krLag < 0 || base-lag < 0 {
+			continue
+		}
+		recent := subMatrix(hist, base-lag, base)
+		krRecent := subMatrix(hist, base-krLag, base)
+		lrP, err := lr.Predict(recent)
+		if err != nil {
+			return nil, err
+		}
+		rnnP, err := rnn.Predict(recent)
+		if err != nil {
+			return nil, err
+		}
+		krP, err := kr.Predict(krRecent)
+		if err != nil {
+			return nil, err
+		}
+		ens := make([]float64, len(lrP))
+		for j := range ens {
+			ens[j] = (lrP[j] + rnnP[j]) / 2
+		}
+
+		at := start.Add(time.Duration(t) * time.Hour)
+		out.times = append(out.times, at)
+		out.actual = append(out.actual, combine(hist.Row(t)))
+		out.preds["LR"] = append(out.preds["LR"], combine(lrP))
+		out.preds["RNN"] = append(out.preds["RNN"], combine(rnnP))
+		out.preds["KR"] = append(out.preds["KR"], combine(krP))
+		out.preds["ENSEMBLE"] = append(out.preds["ENSEMBLE"], combine(ens))
+		for _, g := range gammas {
+			v := ens
+			if forecast.SpikeOverride(ens, krP, g) {
+				v = krP
+			}
+			name := fmt.Sprintf("HYBRID(%.0f%%)", g*100)
+			out.preds[name] = append(out.preds[name], combine(v))
+		}
+	}
+	if len(out.times) == 0 {
+		return nil, fmt.Errorf("empty spike evaluation span")
+	}
+	return out, nil
+}
+
+// spikeCapture measures how much of the actual spike a prediction
+// reproduces around the given deadline: max(predicted within ±36 h of the
+// actual peak) / actual peak. The window absorbs the hour-level jitter
+// inherent in kernel matching across calendar years (day-of-week shifts).
+func (s *spikeSeries) spikeCapture(model string, deadline time.Time) float64 {
+	peak, peakIdx := 0.0, -1
+	for i, v := range s.actual {
+		if d := s.times[i].Sub(deadline); d < -72*time.Hour || d > 24*time.Hour {
+			continue
+		}
+		if v > peak {
+			peak, peakIdx = v, i
+		}
+	}
+	if peakIdx < 0 || peak == 0 {
+		return 0
+	}
+	best := 0.0
+	for i, p := range s.preds[model] {
+		if d := s.times[i].Sub(s.times[peakIdx]); d < -36*time.Hour || d > 36*time.Hour {
+			continue
+		}
+		if p > best {
+			best = p
+		}
+	}
+	return best / peak
+}
+
+func (s *spikeSeries) logMSE(model string) float64 {
+	var sq float64
+	for i, a := range s.actual {
+		d := timeseries.Log1pClamped(s.preds[model][i]) - timeseries.Log1pClamped(a)
+		sq += d * d
+	}
+	return sq / float64(len(s.actual))
+}
+
+func fig9(opt Options, w io.Writer) error {
+	s, err := spikeEval(opt, nil)
+	if err != nil {
+		return err
+	}
+	dec1 := time.Date(2017, time.December, 1, 23, 0, 0, 0, time.UTC)
+	dec15 := time.Date(2017, time.December, 15, 23, 0, 0, 0, time.UTC)
+	fmt.Fprintf(w, "%-10s %12s %12s %12s\n", "model", "MSE(log)", "Dec1 capture", "Dec15 capture")
+	for _, m := range []string{"LR", "KR", "RNN", "ENSEMBLE"} {
+		fmt.Fprintf(w, "%-10s %12.2f %11.0f%% %11.0f%%\n", m, s.logMSE(m),
+			100*s.spikeCapture(m, dec1), 100*s.spikeCapture(m, dec15))
+	}
+	fmt.Fprintln(w, "\nactual vs predicted (queries/h), Nov 15 – Dec 31 2017, 1-week horizon:")
+	stride := len(s.times) / 40
+	if stride < 1 {
+		stride = 1
+	}
+	for i := 0; i < len(s.times); i += stride {
+		fmt.Fprintf(w, "%s\tactual=%.0f\tLR=%.0f\tKR=%.0f\tRNN=%.0f\tENS=%.0f\n",
+			s.times[i].Format("01-02 15:04"), s.actual[i],
+			s.preds["LR"][i], s.preds["KR"][i], s.preds["RNN"][i], s.preds["ENSEMBLE"][i])
+	}
+	return nil
+}
+
+func fig15(opt Options, w io.Writer) error {
+	total, err := admissionsHourly(opt)
+	if err != nil {
+		return err
+	}
+	hist := seriesLogMatrix(total)
+	const krLag = 504
+	// One KR input vector every 12 hours.
+	var rows [][]float64
+	var stamps []time.Time
+	for t := krLag; t < hist.Rows; t += 12 {
+		win := make([]float64, krLag)
+		for i := 0; i < krLag; i++ {
+			win[i] = hist.At(t-krLag+i, 0)
+		}
+		rows = append(rows, win)
+		stamps = append(stamps, total.Start.Add(time.Duration(t)*time.Hour))
+	}
+	x, err := mat.FromRows(rows)
+	if err != nil {
+		return err
+	}
+	pca, err := mat.FitPCA(x, 3)
+	if err != nil {
+		return err
+	}
+	proj := pca.Transform(x)
+	fmt.Fprintln(w, "3-D PCA projection of 504-hour KR input windows (every 12h; spike = within 7 days of a Dec 1 / Dec 15 deadline):")
+	fmt.Fprintf(w, "%-12s %9s %9s %9s %6s\n", "date", "pc1", "pc2", "pc3", "spike")
+	stride := len(stamps) / 60
+	if stride < 1 {
+		stride = 1
+	}
+	var normSum, spikeSum [3]float64
+	var normN, spikeN int
+	for i := 0; i < len(stamps); i++ {
+		r := proj.Row(i)
+		spike := nearDeadline(stamps[i])
+		if spike {
+			for k := 0; k < 3 && k < len(r); k++ {
+				spikeSum[k] += r[k]
+			}
+			spikeN++
+		} else {
+			for k := 0; k < 3 && k < len(r); k++ {
+				normSum[k] += r[k]
+			}
+			normN++
+		}
+		if i%stride == 0 {
+			fmt.Fprintf(w, "%-12s %9.2f %9.2f %9.2f %6v\n",
+				stamps[i].Format("2006-01-02"), at(r, 0), at(r, 1), at(r, 2), spike)
+		}
+	}
+	if spikeN > 0 && normN > 0 {
+		var dist float64
+		for k := 0; k < 3; k++ {
+			d := spikeSum[k]/float64(spikeN) - normSum[k]/float64(normN)
+			dist += d * d
+		}
+		fmt.Fprintf(w, "\ncentroid separation (spike vs normal) in PCA space: %.2f\n", math.Sqrt(dist))
+	}
+	return nil
+}
+
+func at(r []float64, i int) float64 {
+	if i < len(r) {
+		return r[i]
+	}
+	return 0
+}
+
+// nearDeadline reports whether t falls within a week before (or a day
+// after) a Dec 1 / Dec 15 application deadline.
+func nearDeadline(t time.Time) bool {
+	for _, d := range []time.Time{
+		time.Date(t.Year(), time.December, 1, 23, 59, 0, 0, time.UTC),
+		time.Date(t.Year(), time.December, 15, 23, 59, 0, 0, time.UTC),
+	} {
+		dt := d.Sub(t)
+		if dt > -24*time.Hour && dt < 7*24*time.Hour {
+			return true
+		}
+	}
+	return false
+}
+
+func fig16(opt Options, w io.Writer) error {
+	gammas := []float64{1.0, 1.5, 2.0}
+	s, err := spikeEval(opt, gammas)
+	if err != nil {
+		return err
+	}
+	dec1 := time.Date(2017, time.December, 1, 23, 0, 0, 0, time.UTC)
+	dec15 := time.Date(2017, time.December, 15, 23, 0, 0, 0, time.UTC)
+	fmt.Fprintf(w, "%-14s %12s %12s %12s\n", "threshold", "MSE(log)", "Dec1 capture", "Dec15 capture")
+	for _, g := range gammas {
+		name := fmt.Sprintf("HYBRID(%.0f%%)", g*100)
+		fmt.Fprintf(w, "%-14s %12.2f %11.0f%% %11.0f%%\n", name, s.logMSE(name),
+			100*s.spikeCapture(name, dec1), 100*s.spikeCapture(name, dec15))
+	}
+	fmt.Fprintf(w, "%-14s %12.2f %14s\n", "ENSEMBLE", s.logMSE("ENSEMBLE"), "(reference)")
+	return nil
+}

@@ -1,0 +1,228 @@
+package forecast
+
+import (
+	"fmt"
+
+	"qb5000/internal/mat"
+)
+
+// ARMA is the autoregressive moving-average baseline (§7.2): per cluster, an
+// AR(p) part on past observations plus an MA(q) part on past residuals,
+// fitted with the Hannan–Rissanen two-stage procedure (a long AR fit
+// estimates the innovations, then AR and MA coefficients are regressed
+// jointly). Multi-step forecasts recurse with future innovations set to
+// zero.
+//
+// The paper observes this model is the most hyperparameter-sensitive of the
+// group; p and q are fixed across workloads here just as in the paper's
+// protocol.
+type ARMA struct {
+	cfg  Config
+	p, q int
+	// per-output coefficients: const, ar[p], ma[q]
+	coef  [][]float64
+	resid [][]float64 // training residuals per output (tail, for prediction)
+	// bounds clamp the recursive multi-step forecasts to the observed
+	// training range (padded); without them an AR polynomial with a root
+	// near the unit circle can explode over long horizons.
+	lo, hi []float64
+}
+
+// NewARMA creates an ARMA(p, q) model.
+func NewARMA(cfg Config, p, q int) (*ARMA, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if p <= 0 || q < 0 {
+		return nil, fmt.Errorf("forecast: invalid ARMA order p=%d q=%d", p, q)
+	}
+	return &ARMA{cfg: cfg, p: p, q: q}, nil
+}
+
+// Name implements Model.
+func (m *ARMA) Name() string { return "ARMA" }
+
+// Fit implements Model.
+func (m *ARMA) Fit(hist *mat.Matrix) error {
+	if hist.Cols != m.cfg.Outputs {
+		return fmt.Errorf("forecast: ARMA fitted with %d cols, configured for %d", hist.Cols, m.cfg.Outputs)
+	}
+	long := m.p + m.q + 4 // long-AR order for innovation estimation
+	if hist.Rows < long+m.p+m.q+4 {
+		return fmt.Errorf("%w: %d rows for ARMA(%d,%d)", ErrInsufficientData, hist.Rows, m.p, m.q)
+	}
+	m.coef = make([][]float64, m.cfg.Outputs)
+	m.resid = make([][]float64, m.cfg.Outputs)
+	m.lo = make([]float64, m.cfg.Outputs)
+	m.hi = make([]float64, m.cfg.Outputs)
+	for o := 0; o < m.cfg.Outputs; o++ {
+		series := column(hist, o)
+		coef, resid, err := fitHannanRissanen(series, m.p, m.q, long)
+		if err != nil {
+			return fmt.Errorf("forecast: ARMA output %d: %w", o, err)
+		}
+		m.coef[o] = coef
+		m.resid[o] = resid
+		lo, hi := series[0], series[0]
+		for _, v := range series {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		pad := 0.25 * (hi - lo)
+		m.lo[o], m.hi[o] = lo-pad, hi+pad
+	}
+	return nil
+}
+
+// Predict implements Model: it recursively forecasts Horizon steps past the
+// end of recent and returns the final step.
+func (m *ARMA) Predict(recent *mat.Matrix) ([]float64, error) {
+	if m.coef == nil {
+		return nil, ErrNotFitted
+	}
+	need := m.p
+	if recent.Rows < need {
+		return nil, fmt.Errorf("%w: recent has %d rows, ARMA needs %d", ErrInsufficientData, recent.Rows, need)
+	}
+	out := make([]float64, m.cfg.Outputs)
+	for o := 0; o < m.cfg.Outputs; o++ {
+		series := column(recent, o)
+		out[o] = m.forecastOne(o, series)
+	}
+	return out, nil
+}
+
+func (m *ARMA) forecastOne(o int, series []float64) float64 {
+	coef := m.coef[o]
+	// Recent residuals: approximate with the tail of the training
+	// residuals; beyond the training window they decay to zero.
+	resid := append([]float64(nil), m.resid[o]...)
+	vals := append([]float64(nil), series...)
+	var pred float64
+	for step := 0; step < m.cfg.Horizon; step++ {
+		pred = coef[0]
+		for i := 1; i <= m.p; i++ {
+			if len(vals)-i >= 0 && len(vals)-i < len(vals) {
+				pred += coef[i] * vals[len(vals)-i]
+			}
+		}
+		for j := 1; j <= m.q; j++ {
+			if len(resid)-j >= 0 {
+				pred += coef[m.p+j] * resid[len(resid)-j]
+			}
+		}
+		if pred < m.lo[o] {
+			pred = m.lo[o]
+		}
+		if pred > m.hi[o] {
+			pred = m.hi[o]
+		}
+		vals = append(vals, pred)
+		resid = append(resid, 0) // expected future innovation
+	}
+	return pred
+}
+
+// SizeBytes implements Model.
+func (m *ARMA) SizeBytes() int {
+	n := 0
+	for _, c := range m.coef {
+		n += len(c)
+	}
+	return 8 * n
+}
+
+func column(hist *mat.Matrix, o int) []float64 {
+	out := make([]float64, hist.Rows)
+	for i := 0; i < hist.Rows; i++ {
+		out[i] = hist.At(i, o)
+	}
+	return out
+}
+
+// fitHannanRissanen fits ARMA(p,q) coefficients [const, ar..., ma...] and
+// returns the in-sample residual tail.
+func fitHannanRissanen(series []float64, p, q, long int) (coef, residTail []float64, err error) {
+	n := len(series)
+	// Stage 1: long AR fit for innovation estimates.
+	arCoef, err := fitAR(series, long)
+	if err != nil {
+		return nil, nil, err
+	}
+	resid := make([]float64, n)
+	for t := long; t < n; t++ {
+		pred := arCoef[0]
+		for i := 1; i <= long; i++ {
+			pred += arCoef[i] * series[t-i]
+		}
+		resid[t] = series[t] - pred
+	}
+	// Stage 2: regress y_t on [1, y_{t-1..t-p}, e_{t-1..t-q}].
+	start := long + q
+	if start < p {
+		start = p
+	}
+	rows := n - start
+	if rows < p+q+2 {
+		return nil, nil, fmt.Errorf("%w: %d usable rows for stage-2 ARMA fit", ErrInsufficientData, rows)
+	}
+	x := mat.New(rows, 1+p+q)
+	y := make([]float64, rows)
+	for r := 0; r < rows; r++ {
+		t := start + r
+		row := x.Row(r)
+		row[0] = 1
+		for i := 1; i <= p; i++ {
+			row[i] = series[t-i]
+		}
+		for j := 1; j <= q; j++ {
+			row[p+j] = resid[t-j]
+		}
+		y[r] = series[t]
+	}
+	coef, err = mat.SolveRidge(x, y, 1e-4)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Recompute residuals under the final model for the prediction tail.
+	final := make([]float64, 0, q+4)
+	for t := n - q - 4; t < n; t++ {
+		if t < start {
+			continue
+		}
+		pred := coef[0]
+		for i := 1; i <= p; i++ {
+			pred += coef[i] * series[t-i]
+		}
+		for j := 1; j <= q; j++ {
+			pred += coef[p+j] * resid[t-j]
+		}
+		final = append(final, series[t]-pred)
+	}
+	return coef, final, nil
+}
+
+// fitAR fits an AR(k) model with intercept by ridge least squares.
+func fitAR(series []float64, k int) ([]float64, error) {
+	n := len(series)
+	rows := n - k
+	if rows < k+2 {
+		return nil, fmt.Errorf("%w: %d points for AR(%d)", ErrInsufficientData, n, k)
+	}
+	x := mat.New(rows, k+1)
+	y := make([]float64, rows)
+	for r := 0; r < rows; r++ {
+		t := k + r
+		row := x.Row(r)
+		row[0] = 1
+		for i := 1; i <= k; i++ {
+			row[i] = series[t-i]
+		}
+		y[r] = series[t]
+	}
+	return mat.SolveRidge(x, y, 1e-4)
+}

@@ -1,0 +1,92 @@
+package forecast
+
+import (
+	"fmt"
+
+	"qb5000/internal/mat"
+)
+
+// LR is the linear auto-regressive model (§6.1): each cluster's future
+// arrival rate is a learned linear function of the flattened lag window of
+// all clusters, fitted in closed form with ridge regularization. It needs no
+// iterative optimization, which is why the paper recommends it when the
+// DBMS is short on compute and the horizon is under a day.
+type LR struct {
+	cfg     Config
+	lambda  float64
+	weights *mat.Matrix // Outputs x (Lag*Outputs + 1); last column is bias
+}
+
+// NewLR creates a linear auto-regressive model. lambda is the ridge
+// coefficient; zero selects a small default that keeps the normal equations
+// well-conditioned.
+func NewLR(cfg Config, lambda float64) (*LR, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if lambda <= 0 {
+		lambda = 1e-3
+	}
+	return &LR{cfg: cfg, lambda: lambda}, nil
+}
+
+// Name implements Model.
+func (m *LR) Name() string { return "LR" }
+
+// Fit implements Model.
+func (m *LR) Fit(hist *mat.Matrix) error {
+	if hist.Cols != m.cfg.Outputs {
+		return fmt.Errorf("forecast: LR fitted with %d cols, configured for %d", hist.Cols, m.cfg.Outputs)
+	}
+	xs, ys, err := windows(hist, m.cfg.Lag, m.cfg.Horizon)
+	if err != nil {
+		return err
+	}
+	in := m.cfg.Lag*m.cfg.Outputs + 1
+	x := mat.New(len(xs), in)
+	for i, row := range xs {
+		copy(x.Row(i), row)
+		x.Row(i)[in-1] = 1 // bias
+	}
+	y, err := mat.FromRows(ys)
+	if err != nil {
+		return err
+	}
+	lambda := m.lambda
+	// With fewer samples than features the unregularized problem is
+	// underdetermined and the fit extrapolates wildly (a hazard during
+	// workload shifts when little post-shift history exists); stiffen the
+	// ridge until the sample count catches up.
+	if len(xs) < 2*in {
+		if l := float64(in) / float64(len(xs)); l > lambda {
+			lambda = l
+		}
+	}
+	w, err := mat.SolveRidgeMulti(x, y, lambda)
+	if err != nil {
+		return fmt.Errorf("forecast: LR solve: %w", err)
+	}
+	m.weights = w
+	return nil
+}
+
+// Predict implements Model.
+func (m *LR) Predict(recent *mat.Matrix) ([]float64, error) {
+	if m.weights == nil {
+		return nil, ErrNotFitted
+	}
+	win, err := lastWindow(recent, m.cfg.Lag)
+	if err != nil {
+		return nil, err
+	}
+	win = append(win, 1) // bias
+	return mat.MulVec(m.weights, win)
+}
+
+// SizeBytes implements Model: the learned weights at 8 bytes each.
+func (m *LR) SizeBytes() int {
+	if m.weights == nil {
+		return 0
+	}
+	return 8 * len(m.weights.Data)
+}

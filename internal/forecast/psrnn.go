@@ -1,0 +1,203 @@
+package forecast
+
+import (
+	"fmt"
+	"math"
+
+	"qb5000/internal/mat"
+)
+
+// PSRNN is the predictive-state recurrent network baseline (§7.2, Downey et
+// al. 2017). The defining idea is that the recurrent state is a *predictive
+// state* — an estimate of the expected future observations given history —
+// initialized by a method-of-moments two-stage regression rather than random
+// weights.
+//
+// This implementation keeps the two-stage-regression structure and the
+// non-linear (tanh) state filter but omits the optional BPTT refinement
+// stage; the paper itself notes that PSRNN's approximate initialization and
+// limited training data kept it behind the LSTM RNN, which is the behaviour
+// this reproduction preserves (see DESIGN.md).
+//
+// Stages:
+//  1. predictive state: s_t = W_s·φ_t where φ_t is the flattened past
+//     window, fitted by ridge regression of future windows on past windows;
+//  2. state filter: s_{t+1} ≈ W_u·[tanh(s_t); x_{t+1}], fitted by ridge
+//     regression so the state can be carried forward through new
+//     observations;
+//  3. readout: y_{t+horizon} = W_o·tanh(s_t), fitted by ridge regression.
+type PSRNN struct {
+	cfg    Config
+	future int // length of the future window defining the predictive state
+	ws     *mat.Matrix
+	wu     *mat.Matrix
+	wo     *mat.Matrix
+}
+
+// NewPSRNN creates a predictive-state model. future ≤ 0 selects a default
+// future-window length of min(Lag, 8) intervals.
+func NewPSRNN(cfg Config, future int) (*PSRNN, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if future <= 0 {
+		future = cfg.Lag
+		if future > 8 {
+			future = 8
+		}
+	}
+	return &PSRNN{cfg: cfg, future: future}, nil
+}
+
+// Name implements Model.
+func (m *PSRNN) Name() string { return "PSRNN" }
+
+// Fit implements Model.
+func (m *PSRNN) Fit(hist *mat.Matrix) error {
+	if hist.Cols != m.cfg.Outputs {
+		return fmt.Errorf("forecast: PSRNN fitted with %d cols, configured for %d", hist.Cols, m.cfg.Outputs)
+	}
+	lag, k := m.cfg.Lag, m.cfg.Outputs
+	t := hist.Rows
+	need := lag + m.future + m.cfg.Horizon
+	if t < need+2 {
+		return fmt.Errorf("%w: %d rows, PSRNN needs %d", ErrInsufficientData, t, need+2)
+	}
+
+	// Index range where past window, future window, state transition, and
+	// horizon target all exist.
+	stateDim := m.future * k
+	n := 0
+	for end := lag; end+m.future+m.cfg.Horizon <= t && end+1+m.future <= t; end++ {
+		n++
+	}
+	if n < stateDim+2 {
+		// Not enough samples to regress the state maps; shrink the state.
+		m.future = 2
+		stateDim = m.future * k
+	}
+
+	// Stage 1: W_s : φ → future window.
+	var phis, futures [][]float64
+	for end := lag; end+m.future <= t; end++ {
+		phis = append(phis, flattenWindow(hist, end-lag, end))
+		futures = append(futures, flattenWindow(hist, end, end+m.future))
+	}
+	ws, err := ridgeMulti(phis, futures, 1e-2)
+	if err != nil {
+		return fmt.Errorf("forecast: PSRNN stage 1: %w", err)
+	}
+	m.ws = ws
+
+	// Materialize states for every usable index.
+	states := make([][]float64, len(phis))
+	for i, phi := range phis {
+		states[i] = m.applyState(phi)
+	}
+
+	// Stage 2: W_u : [tanh(s_t); x_{t+1}] → s_{t+1}.
+	var filtIn, filtOut [][]float64
+	for i := 0; i+1 < len(states); i++ {
+		end := lag + i // states[i] corresponds to window ending at `end`
+		in := make([]float64, 0, stateDim+k)
+		in = append(in, tanhVec(states[i])...)
+		in = append(in, hist.Row(end)...) // observation consumed moving to end+1
+		filtIn = append(filtIn, in)
+		filtOut = append(filtOut, states[i+1])
+	}
+	wu, err := ridgeMulti(filtIn, filtOut, 1e-2)
+	if err != nil {
+		return fmt.Errorf("forecast: PSRNN stage 2: %w", err)
+	}
+	m.wu = wu
+
+	// Stage 3: W_o : tanh(s_t) → y_{t+horizon}.
+	var roIn, roOut [][]float64
+	for i := range states {
+		end := lag + i
+		target := end + m.cfg.Horizon - 1
+		if target >= t {
+			break
+		}
+		roIn = append(roIn, tanhVec(states[i]))
+		roOut = append(roOut, append([]float64(nil), hist.Row(target)...))
+	}
+	wo, err := ridgeMulti(roIn, roOut, 1e-2)
+	if err != nil {
+		return fmt.Errorf("forecast: PSRNN stage 3: %w", err)
+	}
+	m.wo = wo
+	return nil
+}
+
+// Predict implements Model: the state is initialized from the earliest lag
+// window in recent and filtered forward through the remaining observations,
+// exercising the model's memory, then read out.
+func (m *PSRNN) Predict(recent *mat.Matrix) ([]float64, error) {
+	if m.wo == nil {
+		return nil, ErrNotFitted
+	}
+	lag := m.cfg.Lag
+	if recent.Rows < lag {
+		return nil, fmt.Errorf("%w: recent has %d rows, PSRNN needs %d", ErrInsufficientData, recent.Rows, lag)
+	}
+	phi := flattenWindow(recent, 0, lag)
+	state := m.applyState(phi)
+	for end := lag; end < recent.Rows; end++ {
+		in := make([]float64, 0, len(state)+recent.Cols)
+		in = append(in, tanhVec(state)...)
+		in = append(in, recent.Row(end)...)
+		next, err := mat.MulVec(m.wu, append(in, 1))
+		if err != nil {
+			return nil, err
+		}
+		state = next
+	}
+	return mat.MulVec(m.wo, append(tanhVec(state), 1))
+}
+
+func (m *PSRNN) applyState(phi []float64) []float64 {
+	out, err := mat.MulVec(m.ws, append(append([]float64(nil), phi...), 1))
+	if err != nil {
+		panic(err) // dimensions fixed at fit time
+	}
+	return out
+}
+
+// SizeBytes implements Model.
+func (m *PSRNN) SizeBytes() int {
+	n := 0
+	for _, w := range []*mat.Matrix{m.ws, m.wu, m.wo} {
+		if w != nil {
+			n += len(w.Data)
+		}
+	}
+	return 8 * n
+}
+
+func tanhVec(v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = math.Tanh(x)
+	}
+	return out
+}
+
+// ridgeMulti fits a multi-output ridge regression with bias, returning the
+// weight matrix of shape outDim x (inDim+1).
+func ridgeMulti(xs, ys [][]float64, lambda float64) (*mat.Matrix, error) {
+	if len(xs) == 0 || len(ys) != len(xs) {
+		return nil, ErrInsufficientData
+	}
+	inDim := len(xs[0])
+	x := mat.New(len(xs), inDim+1)
+	for i, row := range xs {
+		copy(x.Row(i), row)
+		x.Row(i)[inDim] = 1
+	}
+	y, err := mat.FromRows(ys)
+	if err != nil {
+		return nil, err
+	}
+	return mat.SolveRidgeMulti(x, y, lambda)
+}

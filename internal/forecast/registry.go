@@ -1,0 +1,49 @@
+package forecast
+
+import "fmt"
+
+// ModelNames lists the model families in the order the paper's Figure 7
+// reports them.
+var ModelNames = []string{"LR", "KR", "ARMA", "FNN", "RNN", "PSRNN", "ENSEMBLE", "HYBRID"}
+
+// NewByName constructs a model family with its paper-default hyperparameters
+// for the given configuration. HYBRID's KR spike component is configured to
+// the same horizon but must be trained separately on the full hourly history
+// via (*Hybrid).FitSpike.
+func NewByName(name string, cfg Config) (Model, error) {
+	switch name {
+	case "LR":
+		return NewLR(cfg, 0)
+	case "KR":
+		return NewKR(cfg, 0)
+	case "ARMA":
+		return NewARMA(cfg, 8, 2)
+	case "FNN":
+		return NewFNN(cfg, 0)
+	case "RNN":
+		return NewRNN(cfg, 0, nil)
+	case "PSRNN":
+		return NewPSRNN(cfg, 0)
+	case "ENSEMBLE":
+		return NewDefaultEnsemble(cfg)
+	case "HYBRID":
+		ens, err := NewDefaultEnsemble(cfg)
+		if err != nil {
+			return nil, err
+		}
+		// The spike KR uses a week of hourly context as its input window so
+		// deadline run-ups are visible in the kernel space (Appendix B).
+		krCfg := cfg
+		krCfg.Lag = 168
+		if krCfg.Lag < cfg.Lag {
+			krCfg.Lag = cfg.Lag
+		}
+		kr, err := NewKR(krCfg, 0)
+		if err != nil {
+			return nil, err
+		}
+		return NewHybrid(ens, kr, 0)
+	default:
+		return nil, fmt.Errorf("forecast: unknown model %q", name)
+	}
+}

@@ -1,0 +1,67 @@
+package forecast
+
+import (
+	"math"
+
+	"qb5000/internal/mat"
+)
+
+// standardizer z-scores each cluster column so the neural models' tanh
+// units operate in their linear range; predictions are mapped back before
+// being returned.
+type standardizer struct {
+	mean, std []float64
+}
+
+// fitStandardizer computes per-column statistics over the history matrix.
+func fitStandardizer(hist *mat.Matrix) *standardizer {
+	s := &standardizer{mean: make([]float64, hist.Cols), std: make([]float64, hist.Cols)}
+	if hist.Rows == 0 {
+		for j := range s.std {
+			s.std[j] = 1
+		}
+		return s
+	}
+	for i := 0; i < hist.Rows; i++ {
+		for j, v := range hist.Row(i) {
+			s.mean[j] += v
+		}
+	}
+	for j := range s.mean {
+		s.mean[j] /= float64(hist.Rows)
+	}
+	for i := 0; i < hist.Rows; i++ {
+		for j, v := range hist.Row(i) {
+			d := v - s.mean[j]
+			s.std[j] += d * d
+		}
+	}
+	for j := range s.std {
+		s.std[j] = math.Sqrt(s.std[j] / float64(hist.Rows))
+		if s.std[j] < 1e-6 {
+			s.std[j] = 1
+		}
+	}
+	return s
+}
+
+// apply transforms the matrix into standardized space (copy).
+func (s *standardizer) apply(hist *mat.Matrix) *mat.Matrix {
+	out := hist.Clone()
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] = (row[j] - s.mean[j]) / s.std[j]
+		}
+	}
+	return out
+}
+
+// invert maps a standardized prediction vector back to log space.
+func (s *standardizer) invert(pred []float64) []float64 {
+	out := make([]float64, len(pred))
+	for j, v := range pred {
+		out[j] = v*s.std[j] + s.mean[j]
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+// Package indexsel implements the AutoAdmin-style index selection the paper
+// uses in its §7.6 evaluation (Chaudhuri & Narasayya, VLDB'97): first find
+// the best candidate index for each query in the (predicted) workload, then
+// greedily pick the bounded subset of candidates with the highest total
+// estimated benefit. Instead of a sample of the observed workload, QB5000
+// feeds it the predicted arrival rates of the largest template clusters.
+package indexsel
+
+import (
+	"sort"
+	"strings"
+
+	"qb5000/internal/engine"
+	"qb5000/internal/sqlparse"
+)
+
+// WeightedQuery is one representative query with its predicted execution
+// count over the planning window.
+type WeightedQuery struct {
+	SQL    string
+	Stmt   sqlparse.Statement
+	Weight float64
+}
+
+// Candidate is a proposed index.
+type Candidate struct {
+	Table   string
+	Columns []string
+}
+
+// Key returns a canonical identity for the candidate.
+func (c Candidate) Key() string {
+	return strings.ToLower(c.Table) + "(" + strings.Join(c.Columns, ",") + ")"
+}
+
+// Selector chooses indexes against an engine's catalog and statistics.
+type Selector struct {
+	eng      *engine.Engine
+	distinct map[string]int // cached distinct counts: "table.col"
+}
+
+// New creates a selector for the engine.
+func New(eng *engine.Engine) *Selector {
+	return &Selector{eng: eng, distinct: make(map[string]int)}
+}
+
+func (s *Selector) distinctCount(table, col string) int {
+	key := table + "." + col
+	if v, ok := s.distinct[key]; ok {
+		return v
+	}
+	v := s.eng.DistinctCount(table, col)
+	s.distinct[key] = v
+	return v
+}
+
+// BestCandidate derives the best single-index candidate per table for one
+// query: the equality-predicate columns (ordered by decreasing distinct
+// count, i.e. most selective first) followed by at most one range column.
+// Queries without sargable predicates yield nothing.
+func (s *Selector) BestCandidate(q WeightedQuery) []Candidate {
+	preds := s.eng.AnalyzePredicates(q.Stmt)
+	perTable := make(map[string][]engine.ColumnPredicate)
+	for _, p := range preds {
+		perTable[p.Table] = append(perTable[p.Table], p)
+	}
+	var out []Candidate
+	tables := make([]string, 0, len(perTable))
+	for t := range perTable {
+		tables = append(tables, t)
+	}
+	sort.Strings(tables)
+	for _, table := range tables {
+		var eqCols, rangeCols []string
+		seen := map[string]bool{}
+		for _, p := range perTable[table] {
+			if seen[p.Column] && (p.Op == "=" || p.Op == "IN") {
+				// Equality dominates an earlier range on the same column.
+				rangeCols = remove(rangeCols, p.Column)
+			} else if seen[p.Column] {
+				continue
+			}
+			seen[p.Column] = true
+			if p.Op == "=" || p.Op == "IN" {
+				eqCols = append(eqCols, p.Column)
+			} else {
+				rangeCols = append(rangeCols, p.Column)
+			}
+		}
+		// Most selective equality columns first.
+		sort.SliceStable(eqCols, func(i, j int) bool {
+			return s.distinctCount(table, eqCols[i]) > s.distinctCount(table, eqCols[j])
+		})
+		cols := eqCols
+		if len(rangeCols) > 0 {
+			sort.Strings(rangeCols)
+			cols = append(cols, rangeCols[0])
+		}
+		if len(cols) == 0 {
+			continue
+		}
+		if len(cols) > 3 {
+			cols = cols[:3]
+		}
+		out = append(out, Candidate{Table: table, Columns: cols})
+	}
+	return out
+}
+
+// Select runs the greedy bounded search: it generates candidates from every
+// query, then repeatedly adds the candidate with the highest remaining total
+// benefit until `budget` indexes are chosen or no candidate helps. existing
+// describes indexes already built (table → column lists) so their benefit is
+// not double-counted.
+func (s *Selector) Select(queries []WeightedQuery, budget int, existing map[string][][]string) []Candidate {
+	// Candidate pool.
+	pool := make(map[string]Candidate)
+	for _, q := range queries {
+		for _, c := range s.BestCandidate(q) {
+			pool[c.Key()] = c
+		}
+	}
+	if len(pool) == 0 || budget <= 0 {
+		return nil
+	}
+
+	// Current hypothetical configuration starts from the existing indexes.
+	config := make(map[string][][]string, len(existing))
+	for t, idxs := range existing {
+		config[strings.ToLower(t)] = append([][]string(nil), idxs...)
+	}
+	baseCost := make([]float64, len(queries))
+	for i, q := range queries {
+		baseCost[i] = q.Weight * s.eng.EstimateCost(q.Stmt, config, s.distinctCount)
+	}
+
+	var chosen []Candidate
+	keys := sortedKeys(pool)
+	for len(chosen) < budget {
+		bestKey := ""
+		bestBenefit := 0.0
+		var bestCosts []float64
+		for _, key := range keys {
+			c := pool[key]
+			trial := cloneConfig(config)
+			trial[c.Table] = append(trial[c.Table], c.Columns)
+			benefit := 0.0
+			costs := make([]float64, len(queries))
+			for i, q := range queries {
+				costs[i] = q.Weight * s.eng.EstimateCost(q.Stmt, trial, s.distinctCount)
+				benefit += baseCost[i] - costs[i]
+			}
+			if benefit > bestBenefit {
+				bestBenefit, bestKey, bestCosts = benefit, key, costs
+			}
+		}
+		if bestKey == "" {
+			break
+		}
+		c := pool[bestKey]
+		chosen = append(chosen, c)
+		config[c.Table] = append(config[c.Table], c.Columns)
+		baseCost = bestCosts
+		delete(pool, bestKey)
+		keys = sortedKeys(pool)
+	}
+	return chosen
+}
+
+func cloneConfig(in map[string][][]string) map[string][][]string {
+	out := make(map[string][][]string, len(in))
+	for k, v := range in {
+		out[k] = append([][]string(nil), v...)
+	}
+	return out
+}
+
+func sortedKeys(m map[string]Candidate) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func remove(ss []string, target string) []string {
+	out := ss[:0]
+	for _, s := range ss {
+		if s != target {
+			out = append(out, s)
+		}
+	}
+	return out
+}

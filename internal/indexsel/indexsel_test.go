@@ -1,0 +1,147 @@
+package indexsel
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"qb5000/internal/engine"
+	"qb5000/internal/sqlparse"
+)
+
+func buildEngine(t *testing.T) *engine.Engine {
+	t.Helper()
+	e := engine.New()
+	if _, err := e.CreateTable("apps", []engine.Column{
+		{Name: "id", Type: engine.IntCol},
+		{Name: "student_id", Type: engine.IntCol},
+		{Name: "status", Type: engine.StringCol},
+		{Name: "created_at", Type: engine.IntCol},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	statuses := []string{"draft", "submitted", "accepted"}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		e.InsertValues("apps", []engine.Value{
+			engine.IntVal(int64(i)),
+			engine.IntVal(rng.Int63n(2000)),
+			engine.StringVal(statuses[rng.Intn(len(statuses))]),
+			engine.IntVal(rng.Int63n(1 << 30)),
+		})
+	}
+	return e
+}
+
+func wq(t *testing.T, sql string, weight float64) WeightedQuery {
+	t.Helper()
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return WeightedQuery{SQL: sql, Stmt: stmt, Weight: weight}
+}
+
+func TestBestCandidateEqualityFirst(t *testing.T) {
+	e := buildEngine(t)
+	s := New(e)
+	cands := s.BestCandidate(wq(t, "SELECT id FROM apps WHERE student_id = 7 AND created_at > 100", 1))
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %v", cands)
+	}
+	c := cands[0]
+	if c.Table != "apps" {
+		t.Fatalf("table = %q", c.Table)
+	}
+	// Equality column leads; the range column follows.
+	if c.Columns[0] != "student_id" || c.Columns[len(c.Columns)-1] != "created_at" {
+		t.Fatalf("columns = %v", c.Columns)
+	}
+}
+
+func TestBestCandidateNoPredicates(t *testing.T) {
+	e := buildEngine(t)
+	s := New(e)
+	if cands := s.BestCandidate(wq(t, "SELECT id FROM apps", 1)); len(cands) != 0 {
+		t.Fatalf("expected no candidates, got %v", cands)
+	}
+}
+
+func TestSelectPrefersHighWeight(t *testing.T) {
+	e := buildEngine(t)
+	s := New(e)
+	queries := []WeightedQuery{
+		wq(t, "SELECT id FROM apps WHERE student_id = 7", 1000),
+		wq(t, "SELECT id FROM apps WHERE status = 'draft'", 1),
+	}
+	chosen := s.Select(queries, 1, nil)
+	if len(chosen) != 1 {
+		t.Fatalf("chose %v", chosen)
+	}
+	if chosen[0].Columns[0] != "student_id" {
+		t.Fatalf("greedy picked %v, want student_id first (higher weight and selectivity)", chosen[0])
+	}
+}
+
+func TestSelectRespectsBudget(t *testing.T) {
+	e := buildEngine(t)
+	s := New(e)
+	var queries []WeightedQuery
+	for i := 0; i < 4; i++ {
+		queries = append(queries, wq(t, fmt.Sprintf("SELECT id FROM apps WHERE student_id = %d", i), 10))
+		queries = append(queries, wq(t, "SELECT id FROM apps WHERE status = 'draft'", 10))
+		queries = append(queries, wq(t, "SELECT id FROM apps WHERE created_at > 5", 10))
+	}
+	if got := s.Select(queries, 2, nil); len(got) > 2 {
+		t.Fatalf("budget exceeded: %v", got)
+	}
+	if got := s.Select(queries, 0, nil); got != nil {
+		t.Fatalf("zero budget returned %v", got)
+	}
+}
+
+func TestSelectSkipsExistingIndexBenefit(t *testing.T) {
+	e := buildEngine(t)
+	s := New(e)
+	queries := []WeightedQuery{wq(t, "SELECT id FROM apps WHERE student_id = 7", 100)}
+	existing := map[string][][]string{"apps": {{"student_id"}}}
+	chosen := s.Select(queries, 2, existing)
+	for _, c := range chosen {
+		if c.Columns[0] == "student_id" && len(c.Columns) == 1 {
+			t.Fatalf("re-selected an existing index: %v", chosen)
+		}
+	}
+}
+
+func TestCandidateKey(t *testing.T) {
+	c := Candidate{Table: "Apps", Columns: []string{"a", "b"}}
+	if c.Key() != "apps(a,b)" {
+		t.Fatalf("Key = %q", c.Key())
+	}
+}
+
+func TestBestCandidateJoinQuery(t *testing.T) {
+	e := buildEngine(t)
+	if _, err := e.CreateTable("students", []engine.Column{
+		{Name: "id", Type: engine.IntCol},
+		{Name: "dept", Type: engine.StringCol},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		e.InsertValues("students", []engine.Value{
+			engine.IntVal(int64(i)), engine.StringVal("d"),
+		})
+	}
+	s := New(e)
+	cands := s.BestCandidate(wq(t,
+		"SELECT a.id FROM apps a JOIN students st ON a.student_id = st.id WHERE st.dept = 'cs'", 1))
+	tables := map[string]bool{}
+	for _, c := range cands {
+		tables[c.Table] = true
+	}
+	// Join equality makes both sides indexable.
+	if !tables["apps"] || !tables["students"] {
+		t.Fatalf("join candidates missing a side: %v", cands)
+	}
+}

@@ -1,0 +1,226 @@
+// Package kdtree implements a k-d tree over points in R^d with payload IDs.
+// QB5000's clusterer uses it to find the closest existing cluster center to
+// a template's arrival-rate feature vector (paper §5.2, step 1).
+//
+// Cluster similarity is cosine, so callers should insert L2-normalized
+// vectors: for unit vectors, Euclidean nearest neighbour and maximum cosine
+// similarity coincide (‖a−b‖² = 2 − 2·cosθ).
+package kdtree
+
+import (
+	"fmt"
+	"math"
+)
+
+type node struct {
+	point       []float64
+	id          int64
+	axis        int
+	deleted     bool
+	left, right *node
+}
+
+// Tree is a k-d tree mapping points to int64 IDs. The zero value is not
+// usable; create trees with New.
+type Tree struct {
+	dim     int
+	root    *node
+	size    int // live entries
+	dead    int // tombstoned entries
+	entries map[int64][]float64
+}
+
+// New creates a tree for points of the given dimensionality.
+func New(dim int) *Tree {
+	if dim <= 0 {
+		panic("kdtree: non-positive dimension")
+	}
+	return &Tree{dim: dim, entries: make(map[int64][]float64)}
+}
+
+// Dim returns the dimensionality of the tree.
+func (t *Tree) Dim() int { return t.dim }
+
+// Len returns the number of live points.
+func (t *Tree) Len() int { return t.size }
+
+// Insert adds a point under id. If id is already present its point is
+// replaced.
+func (t *Tree) Insert(id int64, point []float64) error {
+	if len(point) != t.dim {
+		return fmt.Errorf("kdtree: point has dim %d, want %d", len(point), t.dim)
+	}
+	if _, ok := t.entries[id]; ok {
+		t.Remove(id)
+	}
+	p := append([]float64(nil), point...)
+	t.entries[id] = p
+	t.size++
+	n := &node{point: p, id: id}
+	if t.root == nil {
+		t.root = n
+		return nil
+	}
+	cur := t.root
+	for {
+		n.axis = (cur.axis + 1) % t.dim
+		if p[cur.axis] < cur.point[cur.axis] {
+			if cur.left == nil {
+				cur.left = n
+				return nil
+			}
+			cur = cur.left
+		} else {
+			if cur.right == nil {
+				cur.right = n
+				return nil
+			}
+			cur = cur.right
+		}
+	}
+}
+
+// Remove tombstones the point stored under id. It reports whether the id was
+// present. The tree is rebuilt once tombstones outnumber live points.
+func (t *Tree) Remove(id int64) bool {
+	if _, ok := t.entries[id]; !ok {
+		return false
+	}
+	delete(t.entries, id)
+	t.size--
+	t.dead++
+	t.markDeleted(t.root, id)
+	if t.dead > t.size {
+		t.rebuild()
+	}
+	return true
+}
+
+func (t *Tree) markDeleted(n *node, id int64) bool {
+	if n == nil {
+		return false
+	}
+	if n.id == id && !n.deleted {
+		n.deleted = true
+		return true
+	}
+	return t.markDeleted(n.left, id) || t.markDeleted(n.right, id)
+}
+
+// rebuild reconstructs a balanced tree from the live entries.
+func (t *Tree) rebuild() {
+	ids := make([]int64, 0, len(t.entries))
+	for id := range t.entries {
+		ids = append(ids, id)
+	}
+	t.root = t.build(ids, 0)
+	t.dead = 0
+}
+
+func (t *Tree) build(ids []int64, axis int) *node {
+	if len(ids) == 0 {
+		return nil
+	}
+	// Median-of-points split via selection sort on the axis; fine for the
+	// modest cluster counts the clusterer maintains.
+	mid := len(ids) / 2
+	quickSelect(ids, mid, func(a, b int64) bool {
+		return t.entries[a][axis] < t.entries[b][axis]
+	})
+	n := &node{point: t.entries[ids[mid]], id: ids[mid], axis: axis}
+	next := (axis + 1) % t.dim
+	n.left = t.build(ids[:mid], next)
+	n.right = t.build(ids[mid+1:], next)
+	return n
+}
+
+// quickSelect partially sorts ids so that ids[k] is the k-th smallest under
+// less.
+func quickSelect(ids []int64, k int, less func(a, b int64) bool) {
+	lo, hi := 0, len(ids)-1
+	for lo < hi {
+		pivot := ids[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for less(ids[i], pivot) {
+				i++
+			}
+			for less(pivot, ids[j]) {
+				j--
+			}
+			if i <= j {
+				ids[i], ids[j] = ids[j], ids[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			return
+		}
+	}
+}
+
+// Nearest returns the id and point of the live entry closest (Euclidean) to
+// query, along with the squared distance. ok is false when the tree is
+// empty.
+func (t *Tree) Nearest(query []float64) (id int64, point []float64, dist2 float64, ok bool) {
+	if len(query) != t.dim {
+		panic(fmt.Sprintf("kdtree: query has dim %d, want %d", len(query), t.dim))
+	}
+	if t.size == 0 {
+		return 0, nil, 0, false
+	}
+	best := &nnState{bestDist2: math.Inf(1)}
+	t.search(t.root, query, best)
+	return best.bestID, best.bestPoint, best.bestDist2, true
+}
+
+type nnState struct {
+	bestID    int64
+	bestPoint []float64
+	bestDist2 float64
+}
+
+func (t *Tree) search(n *node, q []float64, st *nnState) {
+	if n == nil {
+		return
+	}
+	if !n.deleted {
+		d2 := sqDist(n.point, q)
+		if d2 < st.bestDist2 {
+			st.bestDist2, st.bestID, st.bestPoint = d2, n.id, n.point
+		}
+	}
+	diff := q[n.axis] - n.point[n.axis]
+	near, far := n.left, n.right
+	if diff >= 0 {
+		near, far = n.right, n.left
+	}
+	t.search(near, q, st)
+	if diff*diff < st.bestDist2 {
+		t.search(far, q, st)
+	}
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Points returns a snapshot of live id → point entries. The points are the
+// stored slices; callers must not mutate them.
+func (t *Tree) Points() map[int64][]float64 {
+	out := make(map[int64][]float64, len(t.entries))
+	for id, p := range t.entries {
+		out[id] = p
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func bruteNearest(points map[int64][]float64, q []float64) (int64, float64) {
+	bestID, best := int64(-1), math.Inf(1)
+	for id, p := range points {
+		var d2 float64
+		for i := range q {
+			d := p[i] - q[i]
+			d2 += d * d
+		}
+		// Tie-break on id for determinism.
+		if d2 < best || (d2 == best && id < bestID) {
+			bestID, best = id, d2
+		}
+	}
+	return bestID, best
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		dim := 1 + rng.Intn(6)
+		tree := New(dim)
+		ref := make(map[int64][]float64)
+		n := 1 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			p := make([]float64, dim)
+			for j := range p {
+				p[j] = rng.NormFloat64()
+			}
+			id := int64(i)
+			if err := tree.Insert(id, p); err != nil {
+				t.Fatal(err)
+			}
+			ref[id] = p
+		}
+		for probe := 0; probe < 50; probe++ {
+			q := make([]float64, dim)
+			for j := range q {
+				q[j] = rng.NormFloat64()
+			}
+			_, _, gotD2, ok := tree.Nearest(q)
+			if !ok {
+				t.Fatal("Nearest returned !ok on non-empty tree")
+			}
+			_, wantD2 := bruteNearest(ref, q)
+			if math.Abs(gotD2-wantD2) > 1e-12 {
+				t.Fatalf("trial %d: nearest d2 %v, want %v", trial, gotD2, wantD2)
+			}
+		}
+	}
+}
+
+func TestRemoveAndRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tree := New(3)
+	ref := make(map[int64][]float64)
+	for i := int64(0); i < 100; i++ {
+		p := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		tree.Insert(i, p)
+		ref[i] = p
+	}
+	// Remove most points, forcing a rebuild, and verify queries stay right.
+	for i := int64(0); i < 80; i++ {
+		if !tree.Remove(i) {
+			t.Fatalf("Remove(%d) = false", i)
+		}
+		delete(ref, i)
+	}
+	if tree.Len() != 20 {
+		t.Fatalf("Len = %d, want 20", tree.Len())
+	}
+	if tree.Remove(5) {
+		t.Fatal("double remove should report false")
+	}
+	for probe := 0; probe < 50; probe++ {
+		q := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		gotID, _, gotD2, ok := tree.Nearest(q)
+		if !ok {
+			t.Fatal("tree empty?")
+		}
+		if _, alive := ref[gotID]; !alive {
+			t.Fatalf("Nearest returned removed id %d", gotID)
+		}
+		_, wantD2 := bruteNearest(ref, q)
+		if math.Abs(gotD2-wantD2) > 1e-12 {
+			t.Fatalf("after removes: d2 %v, want %v", gotD2, wantD2)
+		}
+	}
+}
+
+func TestInsertReplacesExisting(t *testing.T) {
+	tree := New(2)
+	tree.Insert(1, []float64{0, 0})
+	tree.Insert(1, []float64{5, 5})
+	if tree.Len() != 1 {
+		t.Fatalf("Len = %d after replace", tree.Len())
+	}
+	id, p, _, ok := tree.Nearest([]float64{5, 5})
+	if !ok || id != 1 || p[0] != 5 {
+		t.Fatalf("replacement lost: id=%d p=%v", id, p)
+	}
+}
+
+func TestDimensionChecks(t *testing.T) {
+	tree := New(2)
+	if err := tree.Insert(1, []float64{1, 2, 3}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	if _, _, _, ok := tree.Nearest([]float64{0, 0}); ok {
+		t.Fatal("empty tree should return !ok")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched query dim")
+		}
+	}()
+	tree.Nearest([]float64{0})
+}
+
+func TestPointsSnapshot(t *testing.T) {
+	tree := New(1)
+	tree.Insert(7, []float64{3})
+	pts := tree.Points()
+	if len(pts) != 1 || pts[7][0] != 3 {
+		t.Fatalf("Points = %v", pts)
+	}
+}

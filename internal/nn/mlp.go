@@ -1,0 +1,92 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MLP is a feed-forward network with tanh hidden activations and a linear
+// output layer — the FNN baseline from the paper's evaluation (§7.2).
+type MLP struct {
+	Layers []*Dense
+}
+
+// NewMLP builds a network with the given layer sizes, e.g.
+// NewMLP(rng, 24, 32, 3) is 24 → 32(tanh) → 3(linear).
+func NewMLP(rng *rand.Rand, sizes ...int) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: MLP needs at least input and output sizes")
+	}
+	m := &MLP{}
+	for i := 0; i+1 < len(sizes); i++ {
+		m.Layers = append(m.Layers, NewDense(rng, sizes[i], sizes[i+1]))
+	}
+	return m
+}
+
+// Forward runs the network on x.
+func (m *MLP) Forward(x []float64) []float64 {
+	y, _ := m.forward(x)
+	return y
+}
+
+// forward returns the output and the input to every layer (pre-layer
+// activations) for backprop.
+func (m *MLP) forward(x []float64) ([]float64, [][]float64) {
+	inputs := make([][]float64, len(m.Layers))
+	cur := x
+	for i, l := range m.Layers {
+		inputs[i] = cur
+		cur = l.Forward(cur)
+		if i+1 < len(m.Layers) { // hidden activation
+			for j, v := range cur {
+				cur[j] = math.Tanh(v)
+			}
+		}
+	}
+	return cur, inputs
+}
+
+// TrainBatch accumulates gradients of the mean squared error over the batch
+// and returns the batch loss. Callers step the optimizer afterwards.
+func (m *MLP) TrainBatch(xs, ys [][]float64) float64 {
+	var loss float64
+	for n, x := range xs {
+		pred, inputs := m.forward(x)
+		target := ys[n]
+		dy := make([]float64, len(pred))
+		for i, p := range pred {
+			d := p - target[i]
+			loss += d * d
+			dy[i] = 2 * d / float64(len(pred)*len(xs))
+		}
+		for i := len(m.Layers) - 1; i >= 0; i-- {
+			dy = m.Layers[i].Backward(inputs[i], dy)
+			if i > 0 {
+				// Undo tanh: inputs[i] holds tanh outputs of layer i-1.
+				for j, a := range inputs[i] {
+					dy[j] *= 1 - a*a
+				}
+			}
+		}
+	}
+	return loss / float64(len(xs))
+}
+
+// Params returns all trainable parameters.
+func (m *MLP) Params() []*Param {
+	var ps []*Param
+	for _, l := range m.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// NumWeights reports the total weight count.
+func (m *MLP) NumWeights() int {
+	n := 0
+	for _, l := range m.Layers {
+		n += l.NumWeights()
+	}
+	return n
+}

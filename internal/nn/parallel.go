@@ -1,0 +1,85 @@
+package nn
+
+import "sync"
+
+// Clone deep-copies the layer's weights (with fresh gradient/moment
+// buffers), for data-parallel gradient accumulation.
+func (d *Dense) Clone() *Dense {
+	c := &Dense{In: d.In, Out: d.Out, W: NewParam(len(d.W.W)), B: NewParam(len(d.B.W))}
+	copy(c.W.W, d.W.W)
+	copy(c.B.W, d.B.W)
+	return c
+}
+
+// Clone deep-copies the LSTM layer's weights.
+func (l *LSTM) Clone() *LSTM {
+	c := &LSTM{In: l.In, Hidden: l.Hidden, W: NewParam(len(l.W.W)), B: NewParam(len(l.B.W))}
+	copy(c.W.W, l.W.W)
+	copy(c.B.W, l.B.W)
+	return c
+}
+
+// Clone deep-copies the network's weights.
+func (n *LSTMNet) Clone() *LSTMNet {
+	c := &LSTMNet{Embed: n.Embed.Clone(), Out: n.Out.Clone()}
+	for _, cell := range n.Cells {
+		c.Cells = append(c.Cells, cell.Clone())
+	}
+	return c
+}
+
+// trainWorkers is the fixed degree of data parallelism for batch training.
+// It is a constant (rather than NumCPU) so gradient summation order — and
+// therefore every trained model — is identical on every machine.
+const trainWorkers = 4
+
+// TrainBatchParallel behaves like TrainBatch but splits the batch across a
+// fixed set of workers, each accumulating gradients into a private clone of
+// the network; the per-worker gradients are then combined in deterministic
+// order. Results differ from the serial path only by floating-point
+// association in the gradient sums.
+func (n *LSTMNet) TrainBatchParallel(seqs [][][]float64, targets [][]float64) float64 {
+	if len(seqs) < 2*trainWorkers {
+		return n.TrainBatch(seqs, targets)
+	}
+	type chunkResult struct {
+		net  *LSTMNet
+		loss float64
+		size int
+	}
+	chunkSize := (len(seqs) + trainWorkers - 1) / trainWorkers
+	var wg sync.WaitGroup
+	results := make([]chunkResult, 0, trainWorkers)
+	for from := 0; from < len(seqs); from += chunkSize {
+		to := from + chunkSize
+		if to > len(seqs) {
+			to = len(seqs)
+		}
+		results = append(results, chunkResult{net: n.Clone(), size: to - from})
+		r := &results[len(results)-1]
+		cs, ct := seqs[from:to], targets[from:to]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.loss = r.net.TrainBatch(cs, ct)
+		}()
+	}
+	wg.Wait()
+
+	// Combine: each worker normalized its gradients by its own chunk size;
+	// rescale so the sum matches the serial full-batch normalization.
+	main := n.Params()
+	total := float64(len(seqs))
+	var loss float64
+	for _, r := range results {
+		scale := float64(r.size) / total
+		loss += r.loss * scale
+		for pi, p := range r.net.Params() {
+			dst := main[pi].G
+			for i, g := range p.G {
+				dst[i] += g * scale
+			}
+		}
+	}
+	return loss
+}

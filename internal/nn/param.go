@@ -1,0 +1,103 @@
+// Package nn is the neural-network substrate for QB5000's non-linear
+// forecasting models: dense layers, an LSTM cell with backpropagation
+// through time, and the Adam optimizer. The paper trained its RNN models
+// with PyTorch; this package provides the equivalent pieces in pure Go.
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Param is a flat tensor of trainable weights together with its gradient
+// and Adam moment buffers.
+type Param struct {
+	W []float64 // weights
+	G []float64 // accumulated gradient
+	m []float64 // Adam first moment
+	v []float64 // Adam second moment
+}
+
+// NewParam allocates a parameter of n weights.
+func NewParam(n int) *Param {
+	return &Param{
+		W: make([]float64, n),
+		G: make([]float64, n),
+		m: make([]float64, n),
+		v: make([]float64, n),
+	}
+}
+
+// InitUniform fills the weights uniformly in [-scale, scale].
+func (p *Param) InitUniform(rng *rand.Rand, scale float64) {
+	for i := range p.W {
+		p.W[i] = (rng.Float64()*2 - 1) * scale
+	}
+}
+
+// InitXavier applies Glorot-uniform initialization for a layer with the
+// given fan-in and fan-out.
+func (p *Param) InitXavier(rng *rand.Rand, fanIn, fanOut int) {
+	scale := math.Sqrt(6 / float64(fanIn+fanOut))
+	p.InitUniform(rng, scale)
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() {
+	for i := range p.G {
+		p.G[i] = 0
+	}
+}
+
+// Adam is the Adam optimizer over a set of parameters.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+	Clip    float64 // global gradient-norm clip; 0 disables
+	step    int
+	params  []*Param
+}
+
+// NewAdam creates an optimizer with the usual defaults (lr as given,
+// β1=0.9, β2=0.999, ε=1e-8, clip=5).
+func NewAdam(lr float64, params []*Param) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8, Clip: 5, params: params}
+}
+
+// Step applies one Adam update from the accumulated gradients and clears
+// them.
+func (a *Adam) Step() {
+	a.step++
+	if a.Clip > 0 {
+		var norm2 float64
+		for _, p := range a.params {
+			for _, g := range p.G {
+				norm2 += g * g
+			}
+		}
+		if norm := math.Sqrt(norm2); norm > a.Clip {
+			scale := a.Clip / norm
+			for _, p := range a.params {
+				for i := range p.G {
+					p.G[i] *= scale
+				}
+			}
+		}
+	}
+	c1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for _, p := range a.params {
+		for i, g := range p.G {
+			p.m[i] = a.Beta1*p.m[i] + (1-a.Beta1)*g
+			p.v[i] = a.Beta2*p.v[i] + (1-a.Beta2)*g*g
+			mHat := p.m[i] / c1
+			vHat := p.v[i] / c2
+			p.W[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Epsilon)
+		}
+		p.ZeroGrad()
+	}
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }

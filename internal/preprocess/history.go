@@ -1,0 +1,14 @@
+package preprocess
+
+import (
+	"time"
+
+	"qb5000/internal/timeseries"
+)
+
+// newHistory anchors a template's arrival history at the top of the hour
+// containing its first arrival so that all templates in a run share aligned
+// coarse-bin boundaries.
+func newHistory(first time.Time) *timeseries.History {
+	return timeseries.NewHistory(first.Truncate(time.Hour))
+}

@@ -1,0 +1,202 @@
+package preprocess
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"qb5000/internal/sqlparse"
+)
+
+// Stats aggregates the workload counters reported in Table 1 / Table 2.
+type Stats struct {
+	TotalQueries int64
+	ByType       map[sqlparse.StatementType]int64
+	NumTemplates int
+	ParseErrors  int64
+}
+
+// Options configure a Preprocessor.
+type Options struct {
+	// ReservoirSize is the number of parameter vectors sampled per template.
+	// Defaults to 64.
+	ReservoirSize int
+	// Seed drives the reservoir sampling RNG.
+	Seed int64
+	// EvictAfter removes a template whose queries have not been seen for
+	// this long (§5.2 step 2). Zero disables eviction.
+	EvictAfter time.Duration
+}
+
+// Preprocessor ingests raw queries and maintains the template catalog. It is
+// safe for concurrent use: the target DBMS forwards queries from its
+// connection handlers while the clusterer reads the catalog periodically.
+type Preprocessor struct {
+	mu        sync.RWMutex
+	opts      Options
+	templates map[string]*Template // semantic key → template
+	byID      map[int64]*Template
+	nextID    int64
+	stats     Stats
+	// newSinceMark counts templates created since the last MarkNewTemplates
+	// call; the clusterer uses the ratio of new templates to trigger
+	// re-clustering (§5.2).
+	newSinceMark int
+}
+
+// New creates a Preprocessor.
+func New(opts Options) *Preprocessor {
+	if opts.ReservoirSize == 0 {
+		opts.ReservoirSize = 64
+	}
+	return &Preprocessor{
+		opts:      opts,
+		templates: make(map[string]*Template),
+		byID:      make(map[int64]*Template),
+		stats:     Stats{ByType: make(map[sqlparse.StatementType]int64)},
+	}
+}
+
+// Process templatizes one raw query observed at time `at` and folds it into
+// the catalog, returning the template it mapped to.
+func (p *Preprocessor) Process(raw string, at time.Time) (*Template, error) {
+	return p.processN(raw, at, 1)
+}
+
+// ProcessBatch folds `count` identical arrivals of raw at time `at`. Trace
+// replays use this to avoid re-parsing hot queries millions of times.
+func (p *Preprocessor) ProcessBatch(raw string, at time.Time, count int64) (*Template, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("preprocess: non-positive batch count %d", count)
+	}
+	return p.processN(raw, at, count)
+}
+
+func (p *Preprocessor) processN(raw string, at time.Time, count int64) (*Template, error) {
+	res, err := Templatize(raw)
+	if err != nil {
+		p.mu.Lock()
+		p.stats.ParseErrors++
+		p.mu.Unlock()
+		return nil, fmt.Errorf("preprocess: %w", err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	key := res.Features.SemanticKey()
+	t, ok := p.templates[key]
+	if !ok {
+		p.nextID++
+		t = &Template{
+			ID:       p.nextID,
+			SQL:      res.SQL,
+			Key:      key,
+			Features: res.Features,
+			History:  newHistory(at),
+			Params:   NewReservoir(p.opts.ReservoirSize, p.opts.Seed+p.nextID),
+		}
+		p.templates[key] = t
+		p.byID[t.ID] = t
+		p.newSinceMark++
+	}
+	t.Record(at, res.Params)
+	if count > 1 {
+		t.Count += count - 1
+		t.History.Record(at, float64(count-1))
+	}
+	t.Tuples += count * int64(res.BatchSize)
+	p.stats.TotalQueries += count
+	p.stats.ByType[res.Stmt.Type()] += count
+	return t, nil
+}
+
+// Templates returns a snapshot of the catalog sorted by template ID.
+func (p *Preprocessor) Templates() []*Template {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]*Template, 0, len(p.templates))
+	for _, t := range p.templates {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Template returns the template with the given ID, if present.
+func (p *Preprocessor) Template(id int64) (*Template, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	t, ok := p.byID[id]
+	return t, ok
+}
+
+// Len returns the number of live templates.
+func (p *Preprocessor) Len() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.templates)
+}
+
+// Stats returns a copy of the accumulated workload counters.
+func (p *Preprocessor) Stats() Stats {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	s := p.stats
+	s.NumTemplates = len(p.templates)
+	s.ByType = make(map[sqlparse.StatementType]int64, len(p.stats.ByType))
+	for k, v := range p.stats.ByType {
+		s.ByType[k] = v
+	}
+	return s
+}
+
+// NewTemplateRatio returns the fraction of the catalog created since the
+// last call to MarkNewTemplates. The clusterer triggers an early re-cluster
+// when this exceeds its threshold (§5.2).
+func (p *Preprocessor) NewTemplateRatio() float64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if len(p.templates) == 0 {
+		return 0
+	}
+	return float64(p.newSinceMark) / float64(len(p.templates))
+}
+
+// MarkNewTemplates resets the new-template counter.
+func (p *Preprocessor) MarkNewTemplates() {
+	p.mu.Lock()
+	p.newSinceMark = 0
+	p.mu.Unlock()
+}
+
+// Maintain performs the periodic background work at time `now`: compacting
+// stale fine-grained history into coarse bins and evicting templates that
+// have been idle past the eviction window. It returns the evicted templates.
+func (p *Preprocessor) Maintain(now time.Time) []*Template {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var evicted []*Template
+	for key, t := range p.templates {
+		t.History.Compact(now)
+		if p.opts.EvictAfter > 0 && now.Sub(t.LastSeen) > p.opts.EvictAfter {
+			delete(p.templates, key)
+			delete(p.byID, t.ID)
+			evicted = append(evicted, t)
+		}
+	}
+	sort.Slice(evicted, func(i, j int) bool { return evicted[i].ID < evicted[j].ID })
+	return evicted
+}
+
+// HistoryBytes reports the total storage footprint of all template
+// histories, for the Table 4 overhead accounting.
+func (p *Preprocessor) HistoryBytes() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var n int
+	for _, t := range p.templates {
+		n += t.History.Bytes()
+	}
+	return n
+}

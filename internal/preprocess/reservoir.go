@@ -1,0 +1,51 @@
+// Package preprocess implements QB5000's Pre-Processor (paper §4): it
+// converts raw SQL strings into generic templates by stripping constants,
+// normalizes their formatting, folds semantically equivalent templates
+// together, keeps a reservoir sample of each template's original parameters,
+// and records per-template arrival-rate history at one-minute intervals.
+package preprocess
+
+import "math/rand"
+
+// Reservoir keeps a fixed-size uniform random sample from a stream of
+// unknown length using Vitter's algorithm R. QB5000 maintains one per
+// template so the planning module can re-instantiate representative queries
+// when costing optimizations (§4).
+type Reservoir struct {
+	capacity int
+	seen     int64
+	items    [][]string
+	rng      *rand.Rand
+}
+
+// NewReservoir creates a reservoir holding at most capacity samples.
+func NewReservoir(capacity int, seed int64) *Reservoir {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Reservoir{capacity: capacity, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Observe offers one parameter vector to the reservoir.
+func (r *Reservoir) Observe(params []string) {
+	r.seen++
+	if len(r.items) < r.capacity {
+		r.items = append(r.items, append([]string(nil), params...))
+		return
+	}
+	// Replace a random element with probability capacity/seen.
+	j := r.rng.Int63n(r.seen)
+	if j < int64(r.capacity) {
+		r.items[j] = append([]string(nil), params...)
+	}
+}
+
+// Seen returns how many parameter vectors have been offered.
+func (r *Reservoir) Seen() int64 { return r.seen }
+
+// Sample returns the current sample set. The returned slices are the stored
+// copies; callers must not mutate them.
+func (r *Reservoir) Sample() [][]string { return r.items }
+
+// Len returns the number of stored samples.
+func (r *Reservoir) Len() int { return len(r.items) }

@@ -1,0 +1,120 @@
+package preprocess
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+
+	"qb5000/internal/sqlparse"
+	"qb5000/internal/timeseries"
+)
+
+// Catalog snapshots persist the Pre-Processor's state — the paper's QB5000
+// stores templates and arrival histories in an internal database so the
+// framework survives restarts (§3). Derived state (clusters, models) is
+// rebuilt by the next maintenance pass after a restore.
+
+// snapshotVersion guards the gob wire format.
+const snapshotVersion = 1
+
+type snapshotDTO struct {
+	Version   int
+	Opts      Options
+	NextID    int64
+	Stats     Stats
+	Templates []templateDTO
+}
+
+type templateDTO struct {
+	ID                  int64
+	SQL                 string
+	Key                 string
+	History             []byte // timeseries.History binary form
+	ReservoirItems      [][]string
+	ReservoirSeen       int64
+	FirstSeen, LastSeen time.Time
+	Count, Tuples       int64
+}
+
+// Snapshot serializes the catalog. The reservoir's RNG position is not
+// preserved exactly; after a restore, sampling continues with a seed derived
+// from the observed count, which keeps samples uniform but not bit-identical
+// to an uninterrupted run.
+func (p *Preprocessor) Snapshot(w io.Writer) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	dto := snapshotDTO{Version: snapshotVersion, Opts: p.opts, NextID: p.nextID, Stats: p.stats}
+	for _, t := range p.templates {
+		hb, err := t.History.MarshalBinary()
+		if err != nil {
+			return fmt.Errorf("preprocess: snapshot template %d: %w", t.ID, err)
+		}
+		dto.Templates = append(dto.Templates, templateDTO{
+			ID:             t.ID,
+			SQL:            t.SQL,
+			Key:            t.Key,
+			History:        hb,
+			ReservoirItems: t.Params.Sample(),
+			ReservoirSeen:  t.Params.Seen(),
+			FirstSeen:      t.FirstSeen,
+			LastSeen:       t.LastSeen,
+			Count:          t.Count,
+			Tuples:         t.Tuples,
+		})
+	}
+	return gob.NewEncoder(w).Encode(dto)
+}
+
+// RestoreSnapshot reconstructs a Preprocessor from a snapshot stream.
+func RestoreSnapshot(r io.Reader) (*Preprocessor, error) {
+	var dto snapshotDTO
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("preprocess: restore: %w", err)
+	}
+	if dto.Version != snapshotVersion {
+		return nil, fmt.Errorf("preprocess: unsupported snapshot version %d", dto.Version)
+	}
+	p := New(dto.Opts)
+	p.nextID = dto.NextID
+	p.stats = dto.Stats
+	if p.stats.ByType == nil {
+		p.stats.ByType = make(map[sqlparse.StatementType]int64)
+	}
+	for _, td := range dto.Templates {
+		h := &timeseries.History{}
+		if err := h.UnmarshalBinary(td.History); err != nil {
+			return nil, fmt.Errorf("preprocess: restore template %d: %w", td.ID, err)
+		}
+		res := RestoreReservoir(p.opts.ReservoirSize, p.opts.Seed+td.ID+td.ReservoirSeen, td.ReservoirItems, td.ReservoirSeen)
+		t := &Template{
+			ID:        td.ID,
+			SQL:       td.SQL,
+			Key:       td.Key,
+			History:   h,
+			Params:    res,
+			FirstSeen: td.FirstSeen,
+			LastSeen:  td.LastSeen,
+			Count:     td.Count,
+			Tuples:    td.Tuples,
+		}
+		// Re-derive the logical features from the canonical template SQL.
+		if parsed, err := Templatize(td.SQL); err == nil {
+			t.Features = parsed.Features
+		}
+		p.templates[t.Key] = t
+		p.byID[t.ID] = t
+	}
+	return p, nil
+}
+
+// RestoreReservoir rebuilds a reservoir from persisted samples.
+func RestoreReservoir(capacity int, seed int64, items [][]string, seen int64) *Reservoir {
+	r := NewReservoir(capacity, seed)
+	r.items = make([][]string, 0, len(items))
+	for _, it := range items {
+		r.items = append(r.items, append([]string(nil), it...))
+	}
+	r.seen = seen
+	return r
+}

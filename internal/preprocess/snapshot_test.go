@@ -1,0 +1,113 @@
+package preprocess
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	p := New(Options{Seed: 3, EvictAfter: 10 * 24 * time.Hour})
+	queries := []string{
+		"SELECT a FROM t WHERE x = 1",
+		"SELECT a FROM t WHERE x = 2", // folds with the first
+		"INSERT INTO t (a) VALUES (5), (6)",
+		"UPDATE t SET a = 7 WHERE id = 3",
+	}
+	for i, q := range queries {
+		if _, err := p.Process(q, base.Add(time.Duration(i)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.ProcessBatch("SELECT a FROM t WHERE x = 9", base.Add(time.Hour), 50)
+
+	var buf bytes.Buffer
+	if err := p.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if restored.Len() != p.Len() {
+		t.Fatalf("template count %d, want %d", restored.Len(), p.Len())
+	}
+	a, b := p.Stats(), restored.Stats()
+	if a.TotalQueries != b.TotalQueries || len(a.ByType) != len(b.ByType) {
+		t.Fatalf("stats mismatch: %+v vs %+v", a, b)
+	}
+	for _, orig := range p.Templates() {
+		got, ok := restored.Template(orig.ID)
+		if !ok {
+			t.Fatalf("template %d missing after restore", orig.ID)
+		}
+		if got.SQL != orig.SQL || got.Count != orig.Count || got.Tuples != orig.Tuples {
+			t.Fatalf("template %d mismatch:\n%+v\n%+v", orig.ID, got, orig)
+		}
+		if !got.FirstSeen.Equal(orig.FirstSeen) || !got.LastSeen.Equal(orig.LastSeen) {
+			t.Fatalf("template %d timestamps drifted", orig.ID)
+		}
+		// History contents survive.
+		if got.History.Fine().Total() != orig.History.Fine().Total() {
+			t.Fatalf("template %d history lost", orig.ID)
+		}
+		// Reservoir samples survive.
+		if got.Params.Len() != orig.Params.Len() || got.Params.Seen() != orig.Params.Seen() {
+			t.Fatalf("template %d reservoir lost", orig.ID)
+		}
+		// Features were re-derived.
+		if got.Features.SemanticKey() != orig.Features.SemanticKey() {
+			t.Fatalf("template %d features drifted", orig.ID)
+		}
+	}
+
+	// The restored catalog keeps working: the same query folds into its
+	// existing template and new templates get fresh IDs.
+	tm, err := restored.Process("SELECT a FROM t WHERE x = 77", base.Add(2*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.ID != 1 {
+		t.Fatalf("restored catalog did not fold: got template %d", tm.ID)
+	}
+	fresh, err := restored.Process("SELECT brand FROM new_table WHERE z = 1", base.Add(2*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, dup := p.Template(fresh.ID); dup {
+		t.Fatalf("restored catalog reused ID %d", fresh.ID)
+	}
+}
+
+func TestRestoreSnapshotErrors(t *testing.T) {
+	if _, err := RestoreSnapshot(strings.NewReader("not a gob stream")); err == nil {
+		t.Fatal("expected decode error")
+	}
+	if _, err := RestoreSnapshot(bytes.NewReader(nil)); err == nil {
+		t.Fatal("expected EOF error")
+	}
+}
+
+func TestSnapshotAfterCompaction(t *testing.T) {
+	p := New(Options{Seed: 1})
+	p.Process("SELECT a FROM t WHERE x = 1", base)
+	p.Process("SELECT a FROM t WHERE x = 2", base.Add(50*24*time.Hour))
+	p.Maintain(base.Add(50 * 24 * time.Hour)) // compacts old bins to coarse
+	var buf bytes.Buffer
+	if err := p.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, _ := restored.Template(1)
+	if tm.History.Coarse().Total() != 1 {
+		t.Fatalf("coarse tier lost: %v", tm.History.Coarse().Total())
+	}
+	if tm.History.FullHourly().Total() != 2 {
+		t.Fatalf("full history = %v, want 2", tm.History.FullHourly().Total())
+	}
+}

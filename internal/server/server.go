@@ -1,0 +1,152 @@
+// Package server exposes a Forecaster over HTTP — the paper's "external
+// controller" deployment (§3): the target DBMS (or a log shipper) forwards
+// executed queries to the framework, which runs on separate hardware, and
+// the planning module polls it for forecasts.
+//
+// Endpoints:
+//
+//	POST /observe    trace lines (timestamp<TAB>[count<TAB>]SQL, see
+//	                 internal/tracefile); returns counts ingested/rejected
+//	POST /maintain   force a re-cluster + retrain at the latest observed time
+//	GET  /forecast   ?horizon=1h → JSON cluster forecasts
+//	GET  /stats      JSON reduction statistics
+//	GET  /templates  JSON template catalog
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"qb5000"
+	"qb5000/internal/tracefile"
+)
+
+// Server wraps a Forecaster with HTTP handlers. The Forecaster itself is
+// safe for concurrent Observe calls; maintenance and forecasting are
+// serialized with a mutex here because they rebuild shared model state.
+type Server struct {
+	mu sync.Mutex
+	f  *qb5000.Forecaster
+	// lastSeen tracks the newest observation for Maintain's clock.
+	lastSeen time.Time
+}
+
+// New wraps an existing Forecaster.
+func New(f *qb5000.Forecaster) *Server {
+	return &Server{f: f}
+}
+
+// Handler returns the HTTP routing for the server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/observe", s.handleObserve)
+	mux.HandleFunc("/maintain", s.handleMaintain)
+	mux.HandleFunc("/forecast", s.handleForecast)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/templates", s.handleTemplates)
+	return mux
+}
+
+// ObserveResult reports one /observe call's outcome.
+type ObserveResult struct {
+	Ingested int64 `json:"ingested"`
+	Rejected int64 `json:"rejected"`
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var res ObserveResult
+	err := tracefile.Read(r.Body, func(e tracefile.Entry) error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if err := s.f.ObserveBatch(e.SQL, e.At, e.Count); err != nil {
+			res.Rejected += e.Count
+			return nil // keep ingesting; parse failures are per-query
+		}
+		res.Ingested += e.Count
+		if e.At.After(s.lastSeen) {
+			s.lastSeen = e.At
+		}
+		return nil
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, res)
+}
+
+func (s *Server) handleMaintain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.lastSeen
+	if now.IsZero() {
+		http.Error(w, "no observations yet", http.StatusConflict)
+		return
+	}
+	if err := s.f.Maintain(now); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, s.f.Stats())
+}
+
+func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	horizon, err := time.ParseDuration(r.URL.Query().Get("horizon"))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad horizon: %v", err), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	preds, err := s.f.Forecast(horizon)
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, preds)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	st := s.f.Stats()
+	s.mu.Unlock()
+	writeJSON(w, st)
+}
+
+func (s *Server) handleTemplates(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	ts := s.f.Templates()
+	s.mu.Unlock()
+	writeJSON(w, ts)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already written; nothing more to do.
+		return
+	}
+}

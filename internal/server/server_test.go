@@ -1,0 +1,162 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"qb5000"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *Server) {
+	t.Helper()
+	f := qb5000.New(qb5000.Config{Model: "LR", Horizons: []time.Duration{time.Hour}, Seed: 1})
+	s := New(f)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts, s
+}
+
+// traceBody builds two days of observations for one hot query.
+func traceBody() string {
+	var sb strings.Builder
+	start := time.Date(2018, 5, 1, 0, 0, 0, 0, time.UTC)
+	for h := 0; h < 48; h++ {
+		at := start.Add(time.Duration(h) * time.Hour)
+		rate := 10 + 5*(h%24)
+		fmt.Fprintf(&sb, "%s\t%d\tSELECT a FROM t WHERE x = %d\n", at.Format(time.RFC3339), rate, h)
+	}
+	return sb.String()
+}
+
+func TestObserveMaintainForecast(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	resp, err := http.Post(ts.URL+"/observe", "text/plain", strings.NewReader(traceBody()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var obs ObserveResult
+	if err := json.NewDecoder(resp.Body).Decode(&obs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if obs.Ingested == 0 || obs.Rejected != 0 {
+		t.Fatalf("observe = %+v", obs)
+	}
+
+	resp, err = http.Post(ts.URL+"/maintain", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st qb5000.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Templates != 1 || st.Clusters != 1 {
+		t.Fatalf("stats after maintain = %+v", st)
+	}
+
+	resp, err = http.Get(ts.URL + "/forecast?horizon=1h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forecast status %d", resp.StatusCode)
+	}
+	var preds []qb5000.ClusterForecast
+	if err := json.NewDecoder(resp.Body).Decode(&preds); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(preds) != 1 || preds[0].TotalRate < 0 {
+		t.Fatalf("forecast = %+v", preds)
+	}
+}
+
+func TestObserveCountsRejections(t *testing.T) {
+	ts, _ := newTestServer(t)
+	body := "2018-05-01T00:00:00Z\tNOT VALID SQL\n2018-05-01T00:00:00Z\tSELECT a FROM t\n"
+	resp, err := http.Post(ts.URL+"/observe", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var obs ObserveResult
+	json.NewDecoder(resp.Body).Decode(&obs)
+	resp.Body.Close()
+	if obs.Ingested != 1 || obs.Rejected != 1 {
+		t.Fatalf("observe = %+v", obs)
+	}
+}
+
+func TestEndpointErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// Maintain before any observations.
+	resp, _ := http.Post(ts.URL+"/maintain", "", nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("maintain-empty status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// Bad horizon.
+	resp, _ = http.Get(ts.URL + "/forecast?horizon=banana")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad-horizon status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// Untrained horizon.
+	http.Post(ts.URL+"/observe", "text/plain", strings.NewReader("2018-05-01T00:00:00Z\tSELECT a FROM t\n"))
+	resp, _ = http.Get(ts.URL + "/forecast?horizon=9h")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("untrained-horizon status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// Wrong methods.
+	resp, _ = http.Get(ts.URL + "/observe")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /observe status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, _ = http.Post(ts.URL+"/stats", "", nil)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /stats status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// Malformed trace body.
+	resp, _ = http.Post(ts.URL+"/observe", "text/plain", strings.NewReader("no tab"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed-body status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestStatsAndTemplates(t *testing.T) {
+	ts, _ := newTestServer(t)
+	http.Post(ts.URL+"/observe", "text/plain", strings.NewReader(traceBody()))
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st qb5000.Stats
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if st.TotalQueries == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	resp, err = http.Get(ts.URL + "/templates")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var templates []qb5000.TemplateInfo
+	json.NewDecoder(resp.Body).Decode(&templates)
+	resp.Body.Close()
+	if len(templates) != 1 || !strings.Contains(templates[0].SQL, "?") {
+		t.Fatalf("templates = %+v", templates)
+	}
+}

@@ -1,0 +1,180 @@
+package sqlparse
+
+import (
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// Features summarizes the logical structure of a statement. The Clusterer
+// uses these both for the semantic-equivalence heuristic (§4: two templates
+// are equivalent if they access the same tables, use the same predicates,
+// and return the same projections) and for the logical-feature baseline
+// evaluated in §7.7.
+type Features struct {
+	Type        StatementType
+	Tables      []string // sorted, lower-case
+	Columns     []string // sorted, lower-case, possibly table-qualified
+	Predicates  []string // sorted canonical predicate strings (constants stripped)
+	Projections []string // sorted canonical projection strings
+	NumJoins    int
+	NumGroupBy  int
+	NumHaving   int
+	NumOrderBy  int
+	NumAggs     int // COUNT/SUM/AVG/MIN/MAX calls
+}
+
+var aggFuncs = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// ExtractFeatures walks the statement and gathers its logical features. The
+// statement should already be templatized so predicate strings carry
+// placeholders rather than constants.
+func ExtractFeatures(stmt Statement) Features {
+	f := Features{Type: stmt.Type()}
+	tables := map[string]bool{}
+	columns := map[string]bool{}
+
+	collect := func(e Expr) Expr {
+		switch x := e.(type) {
+		case *ColumnRef:
+			columns[strings.ToLower(qualified(x))] = true
+		case *FuncCall:
+			if aggFuncs[x.Name] {
+				f.NumAggs++
+			}
+		}
+		return nil
+	}
+
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		for _, t := range s.From {
+			tables[strings.ToLower(t.Name)] = true
+		}
+		for _, j := range s.Joins {
+			tables[strings.ToLower(j.Table.Name)] = true
+		}
+		f.NumJoins = len(s.Joins)
+		if len(s.From) > 1 {
+			f.NumJoins += len(s.From) - 1 // implicit joins in the FROM list
+		}
+		f.NumGroupBy = len(s.GroupBy)
+		if s.Having != nil {
+			f.NumHaving = 1
+		}
+		f.NumOrderBy = len(s.OrderBy)
+		for _, it := range s.Items {
+			f.Projections = append(f.Projections, ExprSQL(it.Expr))
+		}
+		if s.Where != nil {
+			f.Predicates = flattenPredicates(s.Where)
+		}
+		for _, j := range s.Joins {
+			f.Predicates = append(f.Predicates, flattenPredicates(j.On)...)
+		}
+	case *InsertStmt:
+		tables[strings.ToLower(s.Table.Name)] = true
+		for _, c := range s.Columns {
+			columns[strings.ToLower(c)] = true
+		}
+		// An INSERT "projects" the column list it writes.
+		for _, c := range s.Columns {
+			f.Projections = append(f.Projections, strings.ToLower(c))
+		}
+	case *UpdateStmt:
+		tables[strings.ToLower(s.Table.Name)] = true
+		for _, a := range s.Set {
+			columns[strings.ToLower(a.Column)] = true
+			f.Projections = append(f.Projections, strings.ToLower(a.Column))
+		}
+		if s.Where != nil {
+			f.Predicates = flattenPredicates(s.Where)
+		}
+	case *DeleteStmt:
+		tables[strings.ToLower(s.Table.Name)] = true
+		if s.Where != nil {
+			f.Predicates = flattenPredicates(s.Where)
+		}
+	}
+
+	WalkExprs(stmt, collect)
+
+	f.Tables = sortedKeys(tables)
+	f.Columns = sortedKeys(columns)
+	sort.Strings(f.Predicates)
+	sort.Strings(f.Projections)
+	return f
+}
+
+func qualified(c *ColumnRef) string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+// flattenPredicates splits a WHERE tree on AND into its conjunct strings so
+// predicate sets compare independently of conjunct order.
+func flattenPredicates(e Expr) []string {
+	if b, ok := e.(*BinaryExpr); ok && b.Op == "AND" {
+		return append(flattenPredicates(b.Left), flattenPredicates(b.Right)...)
+	}
+	return []string{ExprSQL(e)}
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SemanticKey returns the equivalence key used to fold templates that access
+// the same tables, use the same predicates, and return the same projections
+// (§4). Templates with equal keys are treated as one.
+func (f Features) SemanticKey() string {
+	var sb strings.Builder
+	sb.WriteString(f.Type.String())
+	sb.WriteString("|T:")
+	sb.WriteString(strings.Join(f.Tables, ","))
+	sb.WriteString("|P:")
+	sb.WriteString(strings.Join(f.Predicates, ","))
+	sb.WriteString("|R:")
+	sb.WriteString(strings.Join(f.Projections, ","))
+	return sb.String()
+}
+
+// LogicalVectorDim is the dimensionality of the logical feature vector used
+// by the §7.7 baseline: 4 type slots + 8 table hash buckets + 16 column hash
+// buckets + 4 clause counters + 1 aggregate counter.
+const LogicalVectorDim = 4 + 8 + 16 + 4 + 1
+
+// LogicalVector encodes the features as a fixed-length vector for L2
+// clustering, mirroring the AUTO-LOGICAL baseline: query type, tables,
+// columns referenced, clause counts, and aggregation count.
+func (f Features) LogicalVector() []float64 {
+	v := make([]float64, LogicalVectorDim)
+	v[int(f.Type)] = 1
+	for _, t := range f.Tables {
+		v[4+hashBucket(t, 8)] = 1
+	}
+	for _, c := range f.Columns {
+		v[12+hashBucket(c, 16)] = 1
+	}
+	v[28] = float64(f.NumJoins)
+	v[29] = float64(f.NumGroupBy)
+	v[30] = float64(f.NumHaving)
+	v[31] = float64(f.NumOrderBy)
+	v[32] = float64(f.NumAggs)
+	return v
+}
+
+func hashBucket(s string, buckets int) int {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return int(h.Sum32() % uint32(buckets))
+}

@@ -1,0 +1,120 @@
+package sqlparse
+
+import (
+	"reflect"
+	"testing"
+)
+
+func mustParse(t *testing.T, sql string) Statement {
+	t.Helper()
+	stmt, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return stmt
+}
+
+func TestExtractFeaturesSelect(t *testing.T) {
+	stmt := mustParse(t,
+		"SELECT r.id, COUNT(*) FROM routes r JOIN route_stops rs ON r.id = rs.route_id WHERE rs.stop_id = 7 GROUP BY r.id HAVING COUNT(*) > 2 ORDER BY r.id")
+	f := ExtractFeatures(stmt)
+	if !reflect.DeepEqual(f.Tables, []string{"route_stops", "routes"}) {
+		t.Fatalf("Tables = %v", f.Tables)
+	}
+	if f.NumJoins != 1 || f.NumGroupBy != 1 || f.NumHaving != 1 || f.NumOrderBy != 1 {
+		t.Fatalf("clause counts: %+v", f)
+	}
+	if f.NumAggs < 1 {
+		t.Fatalf("aggregates not counted: %+v", f)
+	}
+	found := false
+	for _, p := range f.Predicates {
+		if p == "rs.stop_id = 7" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("predicates = %v", f.Predicates)
+	}
+}
+
+func TestExtractFeaturesImplicitJoin(t *testing.T) {
+	f := ExtractFeatures(mustParse(t, "SELECT a FROM t1, t2 WHERE t1.id = t2.id"))
+	if f.NumJoins != 1 {
+		t.Fatalf("implicit join not counted: %+v", f)
+	}
+}
+
+func TestExtractFeaturesDML(t *testing.T) {
+	ins := ExtractFeatures(mustParse(t, "INSERT INTO docs (a, b) VALUES (1, 2)"))
+	if !reflect.DeepEqual(ins.Tables, []string{"docs"}) || len(ins.Projections) != 2 {
+		t.Fatalf("insert features: %+v", ins)
+	}
+	upd := ExtractFeatures(mustParse(t, "UPDATE t SET a = 1 WHERE id = 2"))
+	if len(upd.Predicates) != 1 || upd.Projections[0] != "a" {
+		t.Fatalf("update features: %+v", upd)
+	}
+	del := ExtractFeatures(mustParse(t, "DELETE FROM t WHERE id = 2"))
+	if len(del.Predicates) != 1 {
+		t.Fatalf("delete features: %+v", del)
+	}
+}
+
+// TestSemanticKeyEquivalence checks the §4 heuristic: same tables, same
+// predicates, same projections → same key, even when constants differ
+// after templatization.
+func TestSemanticKeyEquivalence(t *testing.T) {
+	templatize := func(sql string) string {
+		stmt := mustParse(t, sql)
+		WalkExprs(stmt, func(e Expr) Expr {
+			if _, ok := e.(*Literal); ok {
+				return &Placeholder{}
+			}
+			return nil
+		})
+		return ExtractFeatures(stmt).SemanticKey()
+	}
+	a := templatize("SELECT a, b FROM t WHERE x = 1")
+	b := templatize("select B, A from T where X = 999")
+	if a != b {
+		t.Fatalf("equivalent queries got different keys:\n%s\n%s", a, b)
+	}
+	c := templatize("SELECT a, b, c FROM t WHERE x = 1")
+	if a == c {
+		t.Fatal("different projections must differ")
+	}
+	d := templatize("SELECT a, b FROM t WHERE y = 1")
+	if a == d {
+		t.Fatal("different predicates must differ")
+	}
+	e := templatize("SELECT a, b FROM u WHERE x = 1")
+	if a == e {
+		t.Fatal("different tables must differ")
+	}
+}
+
+func TestLogicalVector(t *testing.T) {
+	f := ExtractFeatures(mustParse(t, "SELECT a FROM t WHERE x = 1"))
+	v := f.LogicalVector()
+	if len(v) != LogicalVectorDim {
+		t.Fatalf("dim = %d, want %d", len(v), LogicalVectorDim)
+	}
+	if v[int(StmtSelect)] != 1 {
+		t.Fatal("type slot not set")
+	}
+	g := ExtractFeatures(mustParse(t, "DELETE FROM t WHERE x = 1"))
+	w := g.LogicalVector()
+	if reflect.DeepEqual(v, w) {
+		t.Fatal("different statement types should differ")
+	}
+}
+
+func TestExprSQLNested(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE (x = 1 OR y = 2) AND z IN (3)")
+	sel := stmt.(*SelectStmt)
+	got := ExprSQL(sel.Where)
+	want := "((x = 1 OR y = 2) AND z IN (3))"
+	if got != want {
+		t.Fatalf("ExprSQL = %q, want %q", got, want)
+	}
+}

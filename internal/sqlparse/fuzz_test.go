@@ -1,0 +1,149 @@
+package sqlparse
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// genExpr builds a random expression tree of bounded depth whose canonical
+// rendering must survive a parse → render round trip.
+func genExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return &Literal{Kind: "number", Text: fmt.Sprint(rng.Intn(1000))}
+		case 1:
+			return &Literal{Kind: "string", Text: randWord(rng)}
+		case 2:
+			return &ColumnRef{Column: "c" + randWord(rng)}
+		default:
+			return &ColumnRef{Table: "t" + randWord(rng), Column: "c" + randWord(rng)}
+		}
+	}
+	switch rng.Intn(8) {
+	case 0:
+		return &BinaryExpr{Op: pick(rng, "AND", "OR"), Left: genPredicate(rng, depth-1), Right: genPredicate(rng, depth-1)}
+	case 1:
+		return genPredicate(rng, depth-1)
+	case 2:
+		return &NotExpr{Inner: genPredicate(rng, depth-1)}
+	case 3:
+		return &InExpr{
+			Left:    &ColumnRef{Column: "c" + randWord(rng)},
+			Items:   []Expr{genExpr(rng, 0), genExpr(rng, 0)},
+			Negated: rng.Intn(2) == 0,
+		}
+	case 4:
+		return &BetweenExpr{
+			Left: &ColumnRef{Column: "c" + randWord(rng)},
+			Lo:   &Literal{Kind: "number", Text: fmt.Sprint(rng.Intn(10))},
+			Hi:   &Literal{Kind: "number", Text: fmt.Sprint(10 + rng.Intn(10))},
+		}
+	case 5:
+		return &IsNullExpr{Left: &ColumnRef{Column: "c" + randWord(rng)}, Negated: rng.Intn(2) == 0}
+	case 6:
+		return &FuncCall{Name: pick(rng, "COUNT", "SUM", "MAX"), Args: []Expr{&ColumnRef{Column: "c" + randWord(rng)}}}
+	default:
+		return &BinaryExpr{Op: pick(rng, "+", "-", "*"), Left: genExpr(rng, 0), Right: genExpr(rng, 0)}
+	}
+}
+
+// genPredicate builds something boolean-valued.
+func genPredicate(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 || rng.Intn(2) == 0 {
+		return &BinaryExpr{
+			Op:    pick(rng, "=", "<", ">", "<=", ">=", "!="),
+			Left:  &ColumnRef{Column: "c" + randWord(rng)},
+			Right: genExpr(rng, 0),
+		}
+	}
+	return &BinaryExpr{Op: pick(rng, "AND", "OR"), Left: genPredicate(rng, depth-1), Right: genPredicate(rng, depth-1)}
+}
+
+func randWord(rng *rand.Rand) string {
+	n := 1 + rng.Intn(6)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte(byte('a' + rng.Intn(26)))
+	}
+	return sb.String()
+}
+
+func pick(rng *rand.Rand, options ...string) string {
+	return options[rng.Intn(len(options))]
+}
+
+// TestRandomExpressionRoundTrip renders random WHERE expressions and checks
+// the parser reproduces the identical canonical form — a structural fuzz of
+// the whole lexer/parser/renderer stack.
+func TestRandomExpressionRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 500; trial++ {
+		where := genPredicate(rng, 3)
+		sql := "SELECT x FROM t WHERE " + ExprSQL(where)
+		stmt, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("trial %d: Parse(%q): %v", trial, sql, err)
+		}
+		if got := stmt.SQL(); got != sql {
+			t.Fatalf("trial %d:\n in  %q\n out %q", trial, sql, got)
+		}
+	}
+}
+
+// TestRandomSelectRoundTrip fuzzes full statements.
+func TestRandomSelectRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 300; trial++ {
+		s := &SelectStmt{
+			Items: []SelectItem{{Expr: genExpr(rng, 1)}},
+			From:  []TableRef{{Name: "t" + randWord(rng)}},
+		}
+		if rng.Intn(2) == 0 {
+			s.Where = genPredicate(rng, 2)
+		}
+		if rng.Intn(3) == 0 {
+			s.OrderBy = []OrderItem{{Expr: &ColumnRef{Column: "c" + randWord(rng)}, Desc: rng.Intn(2) == 0}}
+		}
+		if rng.Intn(3) == 0 {
+			s.Limit = &Literal{Kind: "number", Text: fmt.Sprint(1 + rng.Intn(100))}
+		}
+		sql := s.SQL()
+		stmt, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("trial %d: Parse(%q): %v", trial, sql, err)
+		}
+		if got := stmt.SQL(); got != sql {
+			t.Fatalf("trial %d:\n in  %q\n out %q", trial, sql, got)
+		}
+	}
+}
+
+// TestRandomTemplatizeStability: templatizing a random statement twice (the
+// second time from its own canonical form) yields the same semantic key.
+func TestRandomTemplatizeStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		s := &SelectStmt{
+			Items: []SelectItem{{Expr: &ColumnRef{Column: "c" + randWord(rng)}}},
+			From:  []TableRef{{Name: "t" + randWord(rng)}},
+			Where: genPredicate(rng, 2),
+		}
+		sql := s.SQL()
+		first, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", sql, err)
+		}
+		k1 := ExtractFeatures(first).SemanticKey()
+		second, err := Parse(first.SQL())
+		if err != nil {
+			t.Fatal(err)
+		}
+		k2 := ExtractFeatures(second).SemanticKey()
+		if k1 != k2 {
+			t.Fatalf("semantic key unstable:\n%q\n%q", k1, k2)
+		}
+	}
+}

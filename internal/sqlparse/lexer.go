@@ -1,0 +1,222 @@
+// Package sqlparse implements a lexer, recursive-descent parser, and AST for
+// the SQL dialect that the workload traces use (SELECT / INSERT / UPDATE /
+// DELETE with joins, grouping, and the usual predicate forms).
+//
+// The paper relies on the target DBMS's parser to identify tokens when
+// templatizing queries (§4); since this reproduction is self-contained, the
+// parser is built here as a substrate. The Pre-Processor walks the AST to
+// strip constants, normalize formatting, and extract the semantic features
+// (tables, predicates, projections) used for template equivalence.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokOperator // = < > <= >= != <> + - * / %
+	TokComma
+	TokLParen
+	TokRParen
+	TokDot
+	TokSemicolon
+	TokPlaceholder // ? or $1
+)
+
+// Token is a lexical token with its original text and byte offset.
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased; idents keep original case
+	Pos  int
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	return fmt.Sprintf("%s@%d", t.Text, t.Pos)
+}
+
+// keywords recognized by the lexer; matched case-insensitively.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "UPDATE": true, "SET": true, "DELETE": true, "AND": true,
+	"OR": true, "NOT": true, "NULL": true, "IN": true, "BETWEEN": true,
+	"LIKE": true, "IS": true, "JOIN": true, "INNER": true, "LEFT": true,
+	"RIGHT": true, "OUTER": true, "ON": true, "AS": true, "ORDER": true,
+	"BY": true, "GROUP": true, "HAVING": true, "LIMIT": true, "OFFSET": true,
+	"ASC": true, "DESC": true, "DISTINCT": true, "TRUE": true, "FALSE": true,
+	"EXISTS": true, "UNION": true, "ALL": true, "CASE": true, "WHEN": true,
+	"THEN": true, "ELSE": true, "END": true,
+}
+
+// SyntaxError describes a lexing or parsing failure with its location.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sqlparse: %s at offset %d", e.Msg, e.Pos)
+}
+
+// Lex tokenizes a SQL string.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			// Line comment.
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && input[i+1] == '*':
+			end := strings.Index(input[i+2:], "*/")
+			if end < 0 {
+				return nil, &SyntaxError{Pos: i, Msg: "unterminated block comment"}
+			}
+			i += end + 4
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				if input[i] == '\\' && i+1 < n { // backslash escape
+					sb.WriteByte(input[i+1])
+					i += 2
+					continue
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, &SyntaxError{Pos: start, Msg: "unterminated string literal"}
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: start})
+		case c == '"' || c == '`':
+			// Quoted identifier.
+			quote := c
+			start := i
+			i++
+			j := i
+			for j < n && input[j] != quote {
+				j++
+			}
+			if j >= n {
+				return nil, &SyntaxError{Pos: start, Msg: "unterminated quoted identifier"}
+			}
+			toks = append(toks, Token{Kind: TokIdent, Text: input[i:j], Pos: start})
+			i = j + 1
+		case isDigit(c) || (c == '.' && i+1 < n && isDigit(input[i+1])):
+			start := i
+			for i < n && (isDigit(input[i]) || input[i] == '.' || input[i] == 'e' || input[i] == 'E' ||
+				((input[i] == '+' || input[i] == '-') && i > start && (input[i-1] == 'e' || input[i-1] == 'E'))) {
+				i++
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: input[start:i], Pos: start})
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(input[i]) {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, Token{Kind: TokKeyword, Text: upper, Pos: start})
+			} else {
+				toks = append(toks, Token{Kind: TokIdent, Text: word, Pos: start})
+			}
+		case c == '?':
+			toks = append(toks, Token{Kind: TokPlaceholder, Text: "?", Pos: i})
+			i++
+		case c == '$' && i+1 < n && isDigit(input[i+1]):
+			start := i
+			i++
+			for i < n && isDigit(input[i]) {
+				i++
+			}
+			toks = append(toks, Token{Kind: TokPlaceholder, Text: input[start:i], Pos: start})
+		case c == ',':
+			toks = append(toks, Token{Kind: TokComma, Text: ",", Pos: i})
+			i++
+		case c == '(':
+			toks = append(toks, Token{Kind: TokLParen, Text: "(", Pos: i})
+			i++
+		case c == ')':
+			toks = append(toks, Token{Kind: TokRParen, Text: ")", Pos: i})
+			i++
+		case c == '.':
+			toks = append(toks, Token{Kind: TokDot, Text: ".", Pos: i})
+			i++
+		case c == ';':
+			toks = append(toks, Token{Kind: TokSemicolon, Text: ";", Pos: i})
+			i++
+		case c == '<':
+			if i+1 < n && (input[i+1] == '=' || input[i+1] == '>') {
+				toks = append(toks, Token{Kind: TokOperator, Text: input[i : i+2], Pos: i})
+				i += 2
+			} else {
+				toks = append(toks, Token{Kind: TokOperator, Text: "<", Pos: i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{Kind: TokOperator, Text: ">=", Pos: i})
+				i += 2
+			} else {
+				toks = append(toks, Token{Kind: TokOperator, Text: ">", Pos: i})
+				i++
+			}
+		case c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{Kind: TokOperator, Text: "!=", Pos: i})
+				i += 2
+			} else {
+				return nil, &SyntaxError{Pos: i, Msg: "unexpected '!'"}
+			}
+		case c == '=' || c == '+' || c == '-' || c == '*' || c == '/' || c == '%':
+			toks = append(toks, Token{Kind: TokOperator, Text: string(c), Pos: i})
+			i++
+		default:
+			return nil, &SyntaxError{Pos: i, Msg: fmt.Sprintf("unexpected character %q", rune(c))}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Text: "", Pos: n})
+	return toks, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || c == '$' || unicode.IsLetter(rune(c)) || isDigit(c)
+}

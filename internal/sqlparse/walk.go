@@ -1,0 +1,86 @@
+package sqlparse
+
+// Visitor receives every expression node in a statement. Returning a non-nil
+// expression replaces the node in place, which is how the Pre-Processor
+// swaps literals for placeholders.
+type Visitor func(e Expr) Expr
+
+// WalkExprs visits every expression in the statement in a deterministic
+// order, applying v and installing any replacements it returns.
+func WalkExprs(stmt Statement, v Visitor) {
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		for i := range s.Items {
+			s.Items[i].Expr = walkExpr(s.Items[i].Expr, v)
+		}
+		for i := range s.Joins {
+			s.Joins[i].On = walkExpr(s.Joins[i].On, v)
+		}
+		if s.Where != nil {
+			s.Where = walkExpr(s.Where, v)
+		}
+		for i := range s.GroupBy {
+			s.GroupBy[i] = walkExpr(s.GroupBy[i], v)
+		}
+		if s.Having != nil {
+			s.Having = walkExpr(s.Having, v)
+		}
+		for i := range s.OrderBy {
+			s.OrderBy[i].Expr = walkExpr(s.OrderBy[i].Expr, v)
+		}
+		if s.Limit != nil {
+			s.Limit = walkExpr(s.Limit, v)
+		}
+		if s.Offset != nil {
+			s.Offset = walkExpr(s.Offset, v)
+		}
+	case *InsertStmt:
+		for i := range s.Rows {
+			for j := range s.Rows[i] {
+				s.Rows[i][j] = walkExpr(s.Rows[i][j], v)
+			}
+		}
+	case *UpdateStmt:
+		for i := range s.Set {
+			s.Set[i].Value = walkExpr(s.Set[i].Value, v)
+		}
+		if s.Where != nil {
+			s.Where = walkExpr(s.Where, v)
+		}
+	case *DeleteStmt:
+		if s.Where != nil {
+			s.Where = walkExpr(s.Where, v)
+		}
+	}
+}
+
+func walkExpr(e Expr, v Visitor) Expr {
+	switch x := e.(type) {
+	case *BinaryExpr:
+		x.Left = walkExpr(x.Left, v)
+		x.Right = walkExpr(x.Right, v)
+	case *NotExpr:
+		x.Inner = walkExpr(x.Inner, v)
+	case *InExpr:
+		x.Left = walkExpr(x.Left, v)
+		for i := range x.Items {
+			x.Items[i] = walkExpr(x.Items[i], v)
+		}
+	case *BetweenExpr:
+		x.Left = walkExpr(x.Left, v)
+		x.Lo = walkExpr(x.Lo, v)
+		x.Hi = walkExpr(x.Hi, v)
+	case *IsNullExpr:
+		x.Left = walkExpr(x.Left, v)
+	case *FuncCall:
+		for i := range x.Args {
+			x.Args[i] = walkExpr(x.Args[i], v)
+		}
+	case *ParenExpr:
+		x.Inner = walkExpr(x.Inner, v)
+	}
+	if r := v(e); r != nil {
+		return r
+	}
+	return e
+}

@@ -1,0 +1,122 @@
+package timeseries
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// History is the storage structure QB5000 keeps per template: recent arrival
+// counts at the one-minute base interval plus an aggregated coarse tier for
+// stale records (paper §4: "the system aggregates stale arrival rate records
+// into larger intervals to save storage space").
+type History struct {
+	fine   *Series       // recent 1-minute bins
+	coarse *Series       // aggregated older bins
+	window time.Duration // how much trailing history stays fine-grained
+	ratio  int           // coarse interval = fine interval * ratio
+}
+
+// DefaultFineWindow keeps one month of minute-level data, matching the
+// clusterer's "last month" feature window (§5.1).
+const DefaultFineWindow = 31 * 24 * time.Hour
+
+// DefaultCompactionRatio aggregates stale data into one-hour bins, the
+// interval the spike model trains on (§6.2).
+const DefaultCompactionRatio = 60
+
+// NewHistory creates a history anchored at start.
+func NewHistory(start time.Time) *History {
+	return &History{
+		fine:   NewSeries(start, Minute),
+		coarse: NewSeries(start, Minute*DefaultCompactionRatio),
+		window: DefaultFineWindow,
+		ratio:  DefaultCompactionRatio,
+	}
+}
+
+// Record adds count arrivals at t.
+func (h *History) Record(t time.Time, count float64) { h.fine.Add(t, count) }
+
+// Compact moves fine bins older than now-window into the coarse tier.
+// It returns the number of fine bins released.
+func (h *History) Compact(now time.Time) int {
+	cutoff := now.Add(-h.window).Truncate(h.coarse.Interval)
+	n := h.fine.indexOf(cutoff)
+	if n <= 0 {
+		return 0
+	}
+	if n > len(h.fine.Data) {
+		n = len(h.fine.Data)
+	}
+	// Round down to a whole coarse bin so the two tiers never overlap.
+	n -= n % h.ratio
+	if n <= 0 {
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		if v := h.fine.Data[i]; v != 0 {
+			h.coarse.Add(h.fine.TimeOf(i), v)
+		}
+	}
+	h.fine = &Series{
+		Start:    h.fine.TimeOf(n),
+		Interval: h.fine.Interval,
+		Data:     append([]float64(nil), h.fine.Data[n:]...),
+	}
+	return n
+}
+
+// Fine returns the fine-grained (minute) tier.
+func (h *History) Fine() *Series { return h.fine }
+
+// Coarse returns the aggregated tier.
+func (h *History) Coarse() *Series { return h.coarse }
+
+// At returns the arrival count for the minute containing t, consulting
+// whichever tier covers it. Counts from the coarse tier are scaled down to a
+// per-minute average so both tiers report in the same unit.
+func (h *History) At(t time.Time) float64 {
+	if !t.Before(h.fine.Start) {
+		return h.fine.At(t)
+	}
+	return h.coarse.At(t) / float64(h.ratio)
+}
+
+// FullHourly reconstructs the template's entire arrival history at one-hour
+// intervals (coarse tier followed by the aggregated fine tier). This is the
+// input the kernel-regression spike model trains on (§6.2).
+func (h *History) FullHourly() *Series {
+	out := h.coarse.Clone()
+	hour := h.fine.Aggregate(60)
+	// The fine tier always starts on a coarse boundary after Compact, and
+	// before any compaction the coarse tier is empty, so AddSeries is safe.
+	if err := out.AddSeries(hour); err != nil {
+		// Intervals are constructed to match; an error here is a bug.
+		panic(err)
+	}
+	return out
+}
+
+// Bytes estimates the storage footprint of the history in bytes
+// (8 bytes per bin), used by the Table 4 overhead accounting.
+func (h *History) Bytes() int {
+	return 8 * (len(h.fine.Data) + len(h.coarse.Data))
+}
+
+// SampleTimestamps draws n sorted uniform-random minute-aligned timestamps
+// in [from, to). The clusterer samples the feature timestamps this way
+// (§5.1: "QB5000 first randomly samples timestamps before the current time
+// point").
+func SampleTimestamps(rng *rand.Rand, from, to time.Time, n int) []time.Time {
+	span := int64(to.Sub(from) / Minute)
+	if span <= 0 || n <= 0 {
+		return nil
+	}
+	out := make([]time.Time, n)
+	for i := range out {
+		out[i] = from.Add(time.Duration(rng.Int63n(span)) * Minute)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	return out
+}

@@ -1,0 +1,159 @@
+package timeseries
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Binary layout versions; bump when the wire format changes.
+const (
+	seriesFormatVersion  = 1
+	historyFormatVersion = 1
+)
+
+// MarshalBinary implements encoding.BinaryMarshaler: the framework persists
+// per-template arrival histories in its catalog snapshots.
+func (s *Series) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte(seriesFormatVersion)
+	writeInt64(&buf, s.Start.Unix())
+	writeInt64(&buf, int64(s.Interval))
+	writeInt64(&buf, int64(len(s.Data)))
+	for _, v := range s.Data {
+		writeUint64(&buf, math.Float64bits(v))
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (s *Series) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	ver, err := r.ReadByte()
+	if err != nil {
+		return fmt.Errorf("timeseries: truncated series: %w", err)
+	}
+	if ver != seriesFormatVersion {
+		return fmt.Errorf("timeseries: unsupported series format %d", ver)
+	}
+	start, err := readInt64(r)
+	if err != nil {
+		return err
+	}
+	interval, err := readInt64(r)
+	if err != nil {
+		return err
+	}
+	if interval <= 0 {
+		return fmt.Errorf("timeseries: invalid interval %d", interval)
+	}
+	n, err := readInt64(r)
+	if err != nil {
+		return err
+	}
+	if n < 0 || n > int64(r.Len()/8) {
+		return fmt.Errorf("timeseries: invalid series length %d", n)
+	}
+	s.Start = time.Unix(start, 0).UTC()
+	s.Interval = time.Duration(interval)
+	s.Data = make([]float64, n)
+	for i := range s.Data {
+		bits, err := readUint64(r)
+		if err != nil {
+			return err
+		}
+		s.Data[i] = math.Float64frombits(bits)
+	}
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (h *History) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte(historyFormatVersion)
+	writeInt64(&buf, int64(h.window))
+	writeInt64(&buf, int64(h.ratio))
+	for _, s := range []*Series{h.fine, h.coarse} {
+		b, err := s.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		writeInt64(&buf, int64(len(b)))
+		buf.Write(b)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (h *History) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	ver, err := r.ReadByte()
+	if err != nil {
+		return fmt.Errorf("timeseries: truncated history: %w", err)
+	}
+	if ver != historyFormatVersion {
+		return fmt.Errorf("timeseries: unsupported history format %d", ver)
+	}
+	window, err := readInt64(r)
+	if err != nil {
+		return err
+	}
+	ratio, err := readInt64(r)
+	if err != nil {
+		return err
+	}
+	if window <= 0 || ratio <= 0 {
+		return fmt.Errorf("timeseries: invalid history params window=%d ratio=%d", window, ratio)
+	}
+	h.window = time.Duration(window)
+	h.ratio = int(ratio)
+	for _, dst := range []**Series{&h.fine, &h.coarse} {
+		n, err := readInt64(r)
+		if err != nil {
+			return err
+		}
+		if n < 0 || n > int64(r.Len()) {
+			return fmt.Errorf("timeseries: invalid nested series length %d", n)
+		}
+		b := make([]byte, n)
+		if _, err := r.Read(b); err != nil {
+			return err
+		}
+		s := &Series{}
+		if err := s.UnmarshalBinary(b); err != nil {
+			return err
+		}
+		*dst = s
+	}
+	return nil
+}
+
+func writeInt64(buf *bytes.Buffer, v int64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	buf.Write(b[:])
+}
+
+func writeUint64(buf *bytes.Buffer, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	buf.Write(b[:])
+}
+
+func readInt64(r *bytes.Reader) (int64, error) {
+	var b [8]byte
+	if _, err := r.Read(b[:]); err != nil {
+		return 0, fmt.Errorf("timeseries: truncated data: %w", err)
+	}
+	return int64(binary.LittleEndian.Uint64(b[:])), nil
+}
+
+func readUint64(r *bytes.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := r.Read(b[:]); err != nil {
+		return 0, fmt.Errorf("timeseries: truncated data: %w", err)
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}

@@ -1,0 +1,231 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// admissionsStart anchors the Admissions trace two application cycles before
+// its end, so the spike model can learn the previous year's deadlines
+// (Figure 9 / Appendix B require the 2016 spikes as training data for the
+// 2017 predictions).
+var admissionsStart = time.Date(2016, time.September, 1, 0, 0, 0, 0, time.UTC)
+
+// admissionsEnd closes the trace after the December 2017 deadlines.
+var admissionsEnd = time.Date(2018, time.January, 10, 0, 0, 0, 0, time.UTC)
+
+// admissionsDeadlines are the program deadlines that repeat every year on
+// the same dates (Dec 1 and Dec 15, §6.1).
+// The early-decision deadline (Dec 1) draws a smaller applicant pool than
+// the final deadline (Dec 15), so its spike is roughly half as tall — which
+// also gives the two run-ups distinguishable magnitudes in a forecasting
+// model's input window.
+type deadline struct {
+	at     time.Time
+	weight float64
+}
+
+func admissionsDeadlines() []deadline {
+	var ds []deadline
+	for _, y := range []int{2016, 2017, 2018} {
+		ds = append(ds,
+			deadline{time.Date(y, time.December, 1, 23, 59, 0, 0, time.UTC), 0.5},
+			deadline{time.Date(y, time.December, 15, 23, 59, 0, 0, time.UTC), 1.0})
+	}
+	return ds
+}
+
+// deadlineBoost returns the growth-and-spike multiplier: load grows slowly
+// a week out, rapidly over the final two days (Figure 1b), then collapses
+// after the deadline passes.
+func deadlineBoost(at time.Time, amplitude float64) float64 {
+	boost := 0.0
+	for _, d := range admissionsDeadlines() {
+		dt := d.at.Sub(at).Hours() / 24 // days until this deadline
+		amp := amplitude * d.weight
+		switch {
+		case dt >= 0 && dt < 21:
+			// Two time constants: a slow build over the final weeks plus
+			// the sharp last-two-days panic (Figure 1b). The slow component
+			// is what lets a kernel model recognize a run-up from a window
+			// that ends a week before the deadline.
+			boost += amp * (0.3*math.Exp(-dt/5) + math.Exp(-dt/1.4))
+		case dt < 0 && dt > -1:
+			// Brief afterglow while confirmations land.
+			boost += amp * 0.25 * math.Exp(dt*4)
+		}
+	}
+	return 1 + boost
+}
+
+// reviewSeason returns 1 during the faculty review window (mid-December
+// through February) and decays outside it; review queries only exist after
+// deadlines pass (§2.1).
+func reviewSeason(at time.Time) float64 {
+	m := at.Month()
+	switch m {
+	case time.December:
+		if at.Day() >= 16 {
+			return 1
+		}
+		return 0.1
+	case time.January, time.February:
+		return 1
+	case time.March:
+		return 0.4
+	default:
+		return 0.02
+	}
+}
+
+// Admissions builds the graduate-admissions workload (§2.1): applicant
+// queries grow toward the two December deadlines and spike on them, every
+// year, while faculty review activity turns on after the deadlines.
+func Admissions(seed int64) *Workload {
+	// Distinct daily profiles per applicant activity: status checks peak in
+	// the evening, logins across the working day, browsing around noon, and
+	// uploads late at night — so the clusterer sees several simultaneous
+	// arrival patterns (§2.3) rather than one.
+	profile := func(peaks []peak, scale, amplitude float64) func(time.Time) float64 {
+		return func(at time.Time) float64 {
+			base := diurnal(at, 1, peaks, 0.8)
+			return scale * base * deadlineBoost(at, amplitude)
+		}
+	}
+	evening := []peak{{hour: 20, height: 8, width: 3.0}, {hour: 11, height: 3, width: 2.5}}
+	workday := []peak{{hour: 10, height: 6, width: 2.0}, {hour: 15, height: 6, width: 2.5}}
+	midday := []peak{{hour: 13, height: 7, width: 4.0}}
+	lateNight := []peak{{hour: 23, height: 7, width: 2.0}, {hour: 2, height: 4, width: 2.0}}
+	applicant := func(scale, amplitude float64) func(time.Time) float64 {
+		return profile(evening, scale, amplitude)
+	}
+	review := func(scale float64) func(time.Time) float64 {
+		return func(at time.Time) float64 {
+			base := diurnal(at, 0.2, []peak{{hour: 10, height: 5, width: 2.0}, {hour: 14, height: 4, width: 2.0}}, 0.15)
+			return scale * base * reviewSeason(at)
+		}
+	}
+
+	shapes := []*Shape{
+		// Applicant-facing group: all follow the deadline pattern.
+		{
+			Name: "check_status",
+			Rate: applicant(6.0, 18),
+			Gen: func(rng *rand.Rand, _ time.Time) string {
+				return fmt.Sprintf(
+					"SELECT a.id, a.status, a.updated_at FROM applications a WHERE a.student_id = %d",
+					rng.Intn(400000))
+			},
+		},
+		{
+			Name: "login",
+			Rate: profile(workday, 4.0, 15),
+			Gen: func(rng *rand.Rand, _ time.Time) string {
+				return fmt.Sprintf(
+					"SELECT u.id, u.password_hash FROM users u WHERE u.email = 'user%d@example.com'",
+					rng.Intn(400000))
+			},
+		},
+		{
+			Name: "list_programs",
+			Rate: profile(midday, 1.0, 8),
+			Gen: func(rng *rand.Rand, _ time.Time) string {
+				return fmt.Sprintf(
+					"SELECT p.id, p.name, p.deadline FROM programs p WHERE p.department_id = %d AND p.open = TRUE",
+					rng.Intn(216))
+			},
+		},
+		{
+			Name: "upload_document",
+			Rate: profile(lateNight, 0.4, 22),
+			Gen: func(rng *rand.Rand, at time.Time) string {
+				return fmt.Sprintf(
+					"INSERT INTO documents (application_id, kind, path, uploaded_at) VALUES (%d, '%s', 'docs/%d.pdf', %d)",
+					rng.Intn(500000), pickString(rng, "transcript", "cv", "statement", "letter"), rng.Int63n(1<<40), at.Unix())
+			},
+		},
+		{
+			Name: "create_application",
+			Rate: profile(midday, 0.2, 10),
+			Gen: func(rng *rand.Rand, at time.Time) string {
+				return fmt.Sprintf(
+					"INSERT INTO applications (student_id, program_id, status, created_at) VALUES (%d, %d, 'draft', %d)",
+					rng.Intn(400000), rng.Intn(507), at.Unix())
+			},
+		},
+		{
+			Name: "submit_application",
+			Rate: applicant(0.4, 30), // the spikiest: final submissions
+			Gen: func(rng *rand.Rand, at time.Time) string {
+				return fmt.Sprintf(
+					"UPDATE applications SET status = 'submitted', submitted_at = %d WHERE id = %d",
+					at.Unix(), rng.Intn(500000))
+			},
+		},
+		// Faculty review group: active after the deadline.
+		{
+			Name: "review_queue",
+			Rate: review(1.2),
+			Gen: func(rng *rand.Rand, _ time.Time) string {
+				return fmt.Sprintf(
+					"SELECT a.id, a.student_id FROM applications a WHERE a.program_id = %d AND a.status = 'submitted' ORDER BY a.submitted_at LIMIT 50",
+					rng.Intn(507))
+			},
+		},
+		{
+			Name: "read_documents",
+			Rate: review(1.0),
+			Gen: func(rng *rand.Rand, _ time.Time) string {
+				return fmt.Sprintf(
+					"SELECT d.kind, d.path FROM documents d WHERE d.application_id = %d",
+					rng.Intn(500000))
+			},
+		},
+		{
+			Name: "submit_review",
+			Rate: review(0.5),
+			Gen: func(rng *rand.Rand, at time.Time) string {
+				return fmt.Sprintf(
+					"INSERT INTO reviews (application_id, reviewer_id, score, created_at) VALUES (%d, %d, %d, %d)",
+					rng.Intn(500000), rng.Intn(2000), rng.Intn(10), at.Unix())
+			},
+		},
+		{
+			Name: "record_decision",
+			Rate: review(0.2),
+			Gen: func(rng *rand.Rand, _ time.Time) string {
+				return fmt.Sprintf(
+					"UPDATE applications SET status = '%s' WHERE id = %d",
+					pickString(rng, "accepted", "rejected", "waitlisted"), rng.Intn(500000))
+			},
+		},
+		// Operational tail.
+		{
+			Name: "expire_sessions",
+			Rate: func(at time.Time) float64 {
+				return diurnal(at, 0, []peak{{hour: 4, height: 1, width: 0.4}}, 1)
+			},
+			Gen: func(rng *rand.Rand, at time.Time) string {
+				return fmt.Sprintf("DELETE FROM sessions WHERE expires_at < %d", at.Unix())
+			},
+		},
+	}
+
+	return &Workload{
+		Name:   "admissions",
+		DBMS:   "MySQL",
+		Tables: 216,
+		Shapes: shapes,
+		Noise:  0.10,
+		Drift:  newDrift(seed+1, 0.08),
+		Seed:   seed,
+		Start:  admissionsStart,
+		End:    admissionsEnd,
+	}
+}
+
+func pickString(rng *rand.Rand, options ...string) string {
+	return options[rng.Intn(len(options))]
+}

@@ -1,0 +1,238 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// busTrackerStart anchors the BusTracker trace; the paper's trace spans 58
+// days (Table 1).
+var busTrackerStart = time.Date(2017, time.December, 1, 0, 0, 0, 0, time.UTC)
+
+// BusTracker builds the transit-tracking workload (§2.1): riders checking
+// schedules drive strong 24-hour cycles with morning and evening rush-hour
+// peaks (Figure 1a), the transit feed ingests locations at a constant rate,
+// and a handful of low-volume administrative shapes form the long tail of
+// small clusters (§5.3).
+func BusTracker(seed int64) *Workload {
+	// Each rider-facing shape follows the same rush-hour pattern with a
+	// slight phase offset (riders check schedules before the ride, arrival
+	// predictions during it). The offsets keep within-group cosine
+	// similarity between the 0.8 and 0.9 thresholds studied in Appendix A,
+	// so the group coheres at rho=0.8 but fragments at rho=0.9.
+	rush := func(scale, phase float64) func(time.Time) float64 {
+		return func(at time.Time) float64 {
+			return scale * diurnal(at, 2, []peak{
+				{hour: 8 + phase, height: 100, width: 1.2},    // morning rush
+				{hour: 17.5 + phase, height: 120, width: 1.5}, // evening rush
+				{hour: 12.5 + phase, height: 30, width: 2.5},  // lunch bump
+			}, 0.35)
+		}
+	}
+	// Trip planning happens in the evening and on weekends — deliberately
+	// out of phase with the commute rush so the workload carries several
+	// simultaneous arrival patterns (§2.3).
+	daytime := func(scale float64) func(time.Time) float64 {
+		return func(at time.Time) float64 {
+			v := scale * diurnal(at, 1, []peak{{hour: 21, height: 22, width: 2.2}}, 1.0)
+			if wd := at.Weekday(); wd == time.Saturday || wd == time.Sunday {
+				v *= 1.5
+			}
+			return v
+		}
+	}
+	constant := func(rate float64) func(time.Time) float64 {
+		return func(time.Time) float64 { return rate }
+	}
+
+	shapes := []*Shape{
+		// Rider group: four shapes sharing the rush-hour pattern at
+		// different volumes — the Figure 3 cluster.
+		{
+			Name: "nearby_stops",
+			Rate: rush(1.0, 0),
+			Gen: func(rng *rand.Rand, _ time.Time) string {
+				lat := 40.4 + rng.Float64()*0.2
+				lon := -80.1 + rng.Float64()*0.2
+				return fmt.Sprintf(
+					"SELECT s.id, s.name FROM stops s WHERE s.lat BETWEEN %.4f AND %.4f AND s.lon BETWEEN %.4f AND %.4f",
+					lat-0.01, lat+0.01, lon-0.01, lon+0.01)
+			},
+		},
+		{
+			Name: "arrival_prediction",
+			Rate: rush(0.55, 0.8),
+			Gen: func(rng *rand.Rand, _ time.Time) string {
+				return fmt.Sprintf(
+					"SELECT p.eta, p.bus_id FROM predictions p WHERE p.stop_id = %d AND p.route_id = %d ORDER BY p.eta LIMIT 5",
+					rng.Intn(5000), rng.Intn(120))
+			},
+		},
+		{
+			Name: "routes_at_stop",
+			Rate: rush(0.30, -0.8),
+			Gen: func(rng *rand.Rand, _ time.Time) string {
+				return fmt.Sprintf(
+					"SELECT r.id, r.name FROM routes r JOIN route_stops rs ON r.id = rs.route_id WHERE rs.stop_id = %d",
+					rng.Intn(5000))
+			},
+		},
+		{
+			Name: "buses_on_route",
+			Rate: rush(0.12, 1.4),
+			Gen: func(rng *rand.Rand, _ time.Time) string {
+				return fmt.Sprintf(
+					"SELECT b.id, b.lat, b.lon FROM buses b WHERE b.route_id = %d", rng.Intn(120))
+			},
+		},
+		// Ingest group: the transit feed reports continuously.
+		{
+			Name: "ingest_location",
+			Rate: constant(14),
+			Gen: func(rng *rand.Rand, at time.Time) string {
+				return fmt.Sprintf(
+					"INSERT INTO bus_locations (bus_id, lat, lon, reported_at) VALUES (%d, %.5f, %.5f, %d)",
+					rng.Intn(600), 40.4+rng.Float64()*0.2, -80.1+rng.Float64()*0.2, at.Unix())
+			},
+		},
+		{
+			Name: "update_bus_position",
+			Rate: constant(7),
+			Gen: func(rng *rand.Rand, _ time.Time) string {
+				return fmt.Sprintf(
+					"UPDATE buses SET lat = %.5f, lon = %.5f WHERE id = %d",
+					40.4+rng.Float64()*0.2, -80.1+rng.Float64()*0.2, rng.Intn(600))
+			},
+		},
+		// Trip-planner group: broad daytime hump.
+		{
+			Name: "trip_plan",
+			Rate: daytime(1.0),
+			Gen: func(rng *rand.Rand, _ time.Time) string {
+				return fmt.Sprintf(
+					"SELECT rs.route_id, COUNT(*) FROM route_stops rs WHERE rs.stop_id IN (%d, %d) GROUP BY rs.route_id",
+					rng.Intn(5000), rng.Intn(5000))
+			},
+		},
+		{
+			Name: "route_detail",
+			Rate: daytime(0.4),
+			Gen: func(rng *rand.Rand, _ time.Time) string {
+				return fmt.Sprintf(
+					"SELECT s.name, rs.seq FROM route_stops rs JOIN stops s ON rs.stop_id = s.id WHERE rs.route_id = %d ORDER BY rs.seq",
+					rng.Intn(120))
+			},
+		},
+	}
+	shapes = append(shapes, busTrackerTail()...)
+
+	return &Workload{
+		Name:   "bustracker",
+		DBMS:   "PostgreSQL",
+		Tables: 95,
+		Shapes: shapes,
+		Noise:  0.10,
+		Drift:  newDrift(seed+2, 0.12),
+		Seed:   seed,
+		Start:  busTrackerStart,
+		End:    busTrackerStart.Add(58 * 24 * time.Hour),
+	}
+}
+
+// busTrackerTail returns the low-volume administrative shapes that produce
+// the long tail of small noisy clusters (§5.3): nightly cleanups, weekly
+// reports, and rare manual lookups.
+func busTrackerTail() []*Shape {
+	var shapes []*Shape
+	nightly := func(at time.Time) float64 {
+		return diurnal(at, 0, []peak{{hour: 3, height: 2, width: 0.4}}, 1)
+	}
+	weekly := func(at time.Time) float64 {
+		if at.Weekday() != time.Monday {
+			return 0
+		}
+		return diurnal(at, 0, []peak{{hour: 6, height: 1.5, width: 0.5}}, 1)
+	}
+	rare := func(period float64) func(time.Time) float64 {
+		return func(at time.Time) float64 {
+			// A slow sinusoid with long quiet stretches.
+			phase := float64(at.Unix()) / (3600 * period)
+			v := math.Sin(2*math.Pi*phase) - 0.8
+			if v < 0 {
+				return 0
+			}
+			return v * 0.3
+		}
+	}
+	// Stable mid-volume groups keep the top-5 cluster set steady day over
+	// day (Figure 6): hourly telemetry rollups and a steady alerting poll.
+	shapes = append(shapes,
+		&Shape{
+			Name: "telemetry_rollup",
+			Rate: func(at time.Time) float64 {
+				if at.Minute() < 10 {
+					return 6
+				}
+				return 0.5
+			},
+			Gen: func(rng *rand.Rand, at time.Time) string {
+				return fmt.Sprintf(
+					"SELECT bl.bus_id, COUNT(*) FROM bus_locations bl WHERE bl.reported_at > %d GROUP BY bl.bus_id",
+					at.Unix()-3600)
+			},
+		},
+		&Shape{
+			Name: "alert_poll",
+			Rate: func(time.Time) float64 { return 3 },
+			Gen: func(rng *rand.Rand, _ time.Time) string {
+				return fmt.Sprintf(
+					"SELECT b.id FROM buses b WHERE b.route_id = %d AND b.lat BETWEEN %.4f AND %.4f",
+					rng.Intn(120), 40.44, 40.47)
+			},
+		},
+	)
+	shapes = append(shapes,
+		&Shape{
+			Name: "purge_old_locations",
+			Rate: nightly,
+			Gen: func(rng *rand.Rand, at time.Time) string {
+				return fmt.Sprintf("DELETE FROM bus_locations WHERE reported_at < %d", at.Unix()-86400*rng.Int63n(7))
+			},
+		},
+		&Shape{
+			Name: "weekly_ridership_report",
+			Rate: weekly,
+			Gen: func(rng *rand.Rand, at time.Time) string {
+				return fmt.Sprintf(
+					"SELECT p.route_id, COUNT(*), AVG(p.eta) FROM predictions p WHERE p.created_at > %d GROUP BY p.route_id HAVING COUNT(*) > %d",
+					at.Unix()-604800, rng.Intn(100))
+			},
+		},
+	)
+	// Each admin lookup projects a different column set so templatization
+	// keeps them distinct (the Pre-Processor folds templates whose tables,
+	// predicates, and projections all match).
+	projections := []string{
+		"b.id, b.route_id",
+		"b.id, b.lat, b.lon",
+		"b.id, b.fleet_no",
+		"b.route_id, b.depot",
+		"b.id, b.lat",
+		"b.id, b.depot",
+	}
+	for i, proj := range projections {
+		idx, cols := i, proj
+		shapes = append(shapes, &Shape{
+			Name: fmt.Sprintf("admin_lookup_%d", idx),
+			Rate: rare(float64(30 + 13*idx)),
+			Gen: func(rng *rand.Rand, _ time.Time) string {
+				return fmt.Sprintf(
+					"SELECT %s FROM buses b WHERE b.fleet_no = %d AND b.depot = '%c'",
+					cols, rng.Intn(10000), 'A'+rune(idx))
+			},
+		})
+	}
+	return shapes
+}

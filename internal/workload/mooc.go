@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// moocStart anchors the 85-day MOOC trace (Table 1) in mid-April so the
+// "new feature" launch lands in early May, as in Figure 1c.
+var moocStart = time.Date(2017, time.April, 15, 0, 0, 0, 0, time.UTC)
+
+// MOOC builds the on-line course workload (§2.1). Its signature is workload
+// *evolution*: instructors launch new courses over time and the application
+// ships a discussion-forum feature in early May, both of which introduce
+// query shapes that did not exist before (Figure 1c). This stresses the
+// clusterer's handling of previously unseen templates (§5.2).
+func MOOC(seed int64) *Workload {
+	// Students study evenings (due dates fall on Sundays), instructors work
+	// business hours on weekdays, and forum chatter runs through lunch and
+	// late night — three distinct simultaneous arrival patterns (section 2.3).
+	study := func(scale float64) func(time.Time) float64 {
+		return func(at time.Time) float64 {
+			v := diurnal(at, 1, []peak{
+				{hour: 20, height: 12, width: 2.5},
+				{hour: 14, height: 5, width: 3.0},
+			}, 1.15)
+			if at.Weekday() == time.Sunday {
+				v *= 1.6
+			}
+			return scale * v
+		}
+	}
+	instructor := func(scale float64) func(time.Time) float64 {
+		return func(at time.Time) float64 {
+			return scale * diurnal(at, 0.1, []peak{
+				{hour: 10, height: 9, width: 1.8},
+				{hour: 15, height: 7, width: 2.0},
+			}, 0.1)
+		}
+	}
+	forum := func(scale float64) func(time.Time) float64 {
+		return func(at time.Time) float64 {
+			return scale * diurnal(at, 1.5, []peak{
+				{hour: 12.5, height: 8, width: 1.5},
+				{hour: 23, height: 10, width: 2.0},
+				{hour: 1.5, height: 6, width: 1.5},
+			}, 1.0)
+		}
+	}
+
+	shapes := []*Shape{
+		{
+			Name: "fetch_content",
+			Rate: study(3.5),
+			Gen: func(rng *rand.Rand, _ time.Time) string {
+				return fmt.Sprintf(
+					"SELECT c.id, c.title, c.body FROM content c WHERE c.course_id = %d AND c.unit = %d",
+					rng.Intn(454), rng.Intn(20))
+			},
+		},
+		{
+			Name: "list_courses",
+			Rate: study(0.8),
+			Gen: func(rng *rand.Rand, _ time.Time) string {
+				return fmt.Sprintf(
+					"SELECT co.id, co.title FROM courses co WHERE co.category = '%s' AND co.open = TRUE ORDER BY co.enrolled DESC LIMIT 20",
+					pickString(rng, "cs", "math", "bio", "art", "econ"))
+			},
+		},
+		{
+			Name: "enroll",
+			Rate: study(0.12),
+			Gen: func(rng *rand.Rand, at time.Time) string {
+				return fmt.Sprintf(
+					"INSERT INTO enrollments (user_id, course_id, enrolled_at) VALUES (%d, %d, %d)",
+					rng.Intn(300000), rng.Intn(454), at.Unix())
+			},
+		},
+		{
+			Name: "submit_assignment",
+			Rate: study(0.25),
+			Gen: func(rng *rand.Rand, at time.Time) string {
+				return fmt.Sprintf(
+					"INSERT INTO submissions (user_id, assignment_id, body, submitted_at) VALUES (%d, %d, 'answer-%d', %d)",
+					rng.Intn(300000), rng.Intn(9000), rng.Int63n(1<<40), at.Unix())
+			},
+		},
+		{
+			Name: "grade_lookup",
+			Rate: study(0.5),
+			Gen: func(rng *rand.Rand, _ time.Time) string {
+				return fmt.Sprintf(
+					"SELECT s.assignment_id, s.score FROM submissions s WHERE s.user_id = %d AND s.course_id = %d",
+					rng.Intn(300000), rng.Intn(454))
+			},
+		},
+	}
+
+	// Monthly course launches add instructor-side shapes, each structurally
+	// distinct so they templatize to new templates.
+	for i, launch := range []time.Time{
+		moocStart.Add(10 * 24 * time.Hour),
+		moocStart.Add(40 * 24 * time.Hour),
+		moocStart.Add(70 * 24 * time.Hour),
+	} {
+		cohort := i
+		shapes = append(shapes,
+			&Shape{
+				Name:       fmt.Sprintf("instructor_upload_%d", cohort),
+				ActiveFrom: launch,
+				Rate:       instructor(0.15),
+				Gen: func(rng *rand.Rand, at time.Time) string {
+					return fmt.Sprintf(
+						"INSERT INTO content (course_id, unit, title, body, rev%d) VALUES (%d, %d, 'unit', 'body', %d)",
+						cohort, rng.Intn(454), rng.Intn(20), at.Unix())
+				},
+			},
+			&Shape{
+				Name:       fmt.Sprintf("instructor_progress_%d", cohort),
+				ActiveFrom: launch,
+				Rate:       instructor(0.1),
+				Gen: func(rng *rand.Rand, _ time.Time) string {
+					return fmt.Sprintf(
+						"SELECT e.user_id, COUNT(*) FROM enrollments e JOIN submissions s ON e.user_id = s.user_id WHERE e.course_id = %d AND e.cohort = %d GROUP BY e.user_id",
+						rng.Intn(454), cohort)
+				},
+			},
+		)
+	}
+
+	// The early-May feature release: a discussion forum arrives with a
+	// burst of previously-unseen query shapes (Figure 1c).
+	forumLaunch := time.Date(2017, time.May, 5, 0, 0, 0, 0, time.UTC)
+	forumShapes := []struct {
+		name string
+		rate float64
+		gen  func(rng *rand.Rand, at time.Time) string
+	}{
+		{"forum_list_threads", 0.9, func(rng *rand.Rand, _ time.Time) string {
+			return fmt.Sprintf(
+				"SELECT t.id, t.title, t.replies FROM threads t WHERE t.course_id = %d ORDER BY t.updated_at DESC LIMIT 25",
+				rng.Intn(454))
+		}},
+		{"forum_read_thread", 0.7, func(rng *rand.Rand, _ time.Time) string {
+			return fmt.Sprintf(
+				"SELECT p.id, p.author_id, p.body FROM posts p WHERE p.thread_id = %d ORDER BY p.created_at",
+				rng.Intn(100000))
+		}},
+		{"forum_post", 0.3, func(rng *rand.Rand, at time.Time) string {
+			return fmt.Sprintf(
+				"INSERT INTO posts (thread_id, author_id, body, created_at) VALUES (%d, %d, 'text-%d', %d)",
+				rng.Intn(100000), rng.Intn(300000), rng.Int63n(1<<40), at.Unix())
+		}},
+		{"forum_new_thread", 0.1, func(rng *rand.Rand, at time.Time) string {
+			return fmt.Sprintf(
+				"INSERT INTO threads (course_id, author_id, title, created_at) VALUES (%d, %d, 'topic-%d', %d)",
+				rng.Intn(454), rng.Intn(300000), rng.Int63n(1<<40), at.Unix())
+		}},
+		{"forum_search", 0.2, func(rng *rand.Rand, _ time.Time) string {
+			return fmt.Sprintf(
+				"SELECT t.id, t.title FROM threads t WHERE t.course_id = %d AND t.title LIKE 'q%d'",
+				rng.Intn(454), rng.Intn(1000))
+		}},
+		{"forum_upvote", 0.25, func(rng *rand.Rand, _ time.Time) string {
+			return fmt.Sprintf("UPDATE posts SET votes = votes + 1 WHERE id = %d", rng.Intn(1000000))
+		}},
+		{"forum_moderate", 0.05, func(rng *rand.Rand, _ time.Time) string {
+			return fmt.Sprintf("DELETE FROM posts WHERE id = %d AND flagged = TRUE", rng.Intn(1000000))
+		}},
+		{"forum_unread_count", 0.5, func(rng *rand.Rand, _ time.Time) string {
+			return fmt.Sprintf(
+				"SELECT COUNT(*) FROM posts p JOIN threads t ON p.thread_id = t.id WHERE t.course_id = %d AND p.created_at > %d",
+				rng.Intn(454), rng.Intn(1<<30))
+		}},
+	}
+	for _, fs := range forumShapes {
+		fs := fs
+		shapes = append(shapes, &Shape{
+			Name:       fs.name,
+			ActiveFrom: forumLaunch,
+			Rate:       forum(fs.rate),
+			Gen:        fs.gen,
+		})
+	}
+
+	return &Workload{
+		Name:   "mooc",
+		DBMS:   "MySQL",
+		Tables: 454,
+		Shapes: shapes,
+		Noise:  0.12,
+		Drift:  newDrift(seed+3, 0.18),
+		Seed:   seed,
+		Start:  moocStart,
+		End:    moocStart.Add(85 * 24 * time.Hour),
+	}
+}

@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// noisyStart anchors the Appendix D composite trace.
+var noisyStart = time.Date(2018, time.January, 27, 12, 30, 0, 0, time.UTC)
+
+// benchSlotHours is how long each OLTP-Bench benchmark runs before the
+// workload shifts to the next one (Appendix D: 10 hours each).
+const benchSlotHours = 10
+
+// Noisy builds the Appendix D worst-case workload: eight OLTP-Bench-style
+// benchmarks executed consecutively (Wikipedia, TATP, YCSB, SmallBank,
+// TPC-C, Twitter, Epinions, Voter), each for ten hours, with white noise
+// whose variance is 50 % of the mean and randomly injected spikes. Every
+// slot switch replaces the entire template population, which exercises
+// QB5000's shift detection and re-clustering (Figure 17).
+func Noisy(seed int64) *Workload {
+	type benchShape struct {
+		name string
+		rel  float64 // relative volume within the benchmark
+		gen  func(rng *rand.Rand, at time.Time) string
+	}
+	benches := []struct {
+		name   string
+		rate   float64 // mean queries/minute while active
+		shapes []benchShape
+	}{
+		{"wikipedia", 220, []benchShape{
+			{"wiki_get_page", 0.6, func(rng *rand.Rand, _ time.Time) string {
+				return fmt.Sprintf("SELECT pg.id, pg.text FROM wiki_pages pg WHERE pg.title = 'page%d'", rng.Intn(100000))
+			}},
+			{"wiki_update_page", 0.2, func(rng *rand.Rand, _ time.Time) string {
+				return fmt.Sprintf("UPDATE wiki_pages SET text = 'rev%d' WHERE id = %d", rng.Int63(), rng.Intn(100000))
+			}},
+			{"wiki_watchlist", 0.2, func(rng *rand.Rand, _ time.Time) string {
+				return fmt.Sprintf("SELECT w.page_id FROM wiki_watch w WHERE w.user_id = %d", rng.Intn(50000))
+			}},
+		}},
+		{"tatp", 300, []benchShape{
+			{"tatp_get_subscriber", 0.7, func(rng *rand.Rand, _ time.Time) string {
+				return fmt.Sprintf("SELECT s.sub_nbr, s.bits FROM subscribers s WHERE s.id = %d", rng.Intn(1000000))
+			}},
+			{"tatp_update_location", 0.3, func(rng *rand.Rand, _ time.Time) string {
+				return fmt.Sprintf("UPDATE subscribers SET vlr = %d WHERE id = %d", rng.Int63n(1<<30), rng.Intn(1000000))
+			}},
+		}},
+		{"ycsb", 400, []benchShape{
+			{"ycsb_read", 0.5, func(rng *rand.Rand, _ time.Time) string {
+				return fmt.Sprintf("SELECT y.f0, y.f1 FROM usertable y WHERE y.ycsb_key = %d", rng.Intn(1000000))
+			}},
+			{"ycsb_update", 0.3, func(rng *rand.Rand, _ time.Time) string {
+				return fmt.Sprintf("UPDATE usertable SET f0 = 'v%d' WHERE ycsb_key = %d", rng.Int63(), rng.Intn(1000000))
+			}},
+			{"ycsb_insert", 0.2, func(rng *rand.Rand, _ time.Time) string {
+				return fmt.Sprintf("INSERT INTO usertable (ycsb_key, f0) VALUES (%d, 'v%d')", rng.Int63n(1<<40), rng.Int63())
+			}},
+		}},
+		{"smallbank", 250, []benchShape{
+			{"sb_balance", 0.5, func(rng *rand.Rand, _ time.Time) string {
+				return fmt.Sprintf("SELECT a.balance FROM accounts a WHERE a.cust_id = %d", rng.Intn(100000))
+			}},
+			{"sb_deposit", 0.5, func(rng *rand.Rand, _ time.Time) string {
+				return fmt.Sprintf("UPDATE accounts SET balance = balance + %d WHERE cust_id = %d", rng.Intn(500), rng.Intn(100000))
+			}},
+		}},
+		{"tpcc", 180, []benchShape{
+			{"tpcc_new_order", 0.4, func(rng *rand.Rand, at time.Time) string {
+				return fmt.Sprintf("INSERT INTO orders (w_id, d_id, c_id, entry_d) VALUES (%d, %d, %d, %d)", rng.Intn(10), rng.Intn(10), rng.Intn(30000), at.Unix())
+			}},
+			{"tpcc_stock_level", 0.2, func(rng *rand.Rand, _ time.Time) string {
+				return fmt.Sprintf("SELECT COUNT(*) FROM stock st WHERE st.w_id = %d AND st.quantity < %d", rng.Intn(10), rng.Intn(20))
+			}},
+			{"tpcc_payment", 0.4, func(rng *rand.Rand, _ time.Time) string {
+				return fmt.Sprintf("UPDATE customers SET balance = balance - %d WHERE id = %d", rng.Intn(5000), rng.Intn(30000))
+			}},
+		}},
+		{"twitter", 350, []benchShape{
+			{"tw_timeline", 0.6, func(rng *rand.Rand, _ time.Time) string {
+				return fmt.Sprintf("SELECT t.id, t.text FROM tweets t WHERE t.user_id = %d ORDER BY t.created_at DESC LIMIT 20", rng.Intn(500000))
+			}},
+			{"tw_post", 0.25, func(rng *rand.Rand, at time.Time) string {
+				return fmt.Sprintf("INSERT INTO tweets (user_id, text, created_at) VALUES (%d, 'msg%d', %d)", rng.Intn(500000), rng.Int63(), at.Unix())
+			}},
+			{"tw_follow", 0.15, func(rng *rand.Rand, _ time.Time) string {
+				return fmt.Sprintf("INSERT INTO follows (follower, followee) VALUES (%d, %d)", rng.Intn(500000), rng.Intn(500000))
+			}},
+		}},
+		{"epinions", 150, []benchShape{
+			{"ep_item_reviews", 0.5, func(rng *rand.Rand, _ time.Time) string {
+				return fmt.Sprintf("SELECT r.rating, r.body FROM item_reviews r WHERE r.item_id = %d", rng.Intn(100000))
+			}},
+			{"ep_trust", 0.3, func(rng *rand.Rand, _ time.Time) string {
+				return fmt.Sprintf("SELECT tr.target FROM trust tr WHERE tr.source = %d", rng.Intn(80000))
+			}},
+			{"ep_write_review", 0.2, func(rng *rand.Rand, at time.Time) string {
+				return fmt.Sprintf("INSERT INTO item_reviews (item_id, user_id, rating, created_at) VALUES (%d, %d, %d, %d)", rng.Intn(100000), rng.Intn(80000), 1+rng.Intn(5), at.Unix())
+			}},
+		}},
+		{"voter", 500, []benchShape{
+			{"voter_vote", 0.8, func(rng *rand.Rand, _ time.Time) string {
+				return fmt.Sprintf("INSERT INTO votes (phone, contestant) VALUES (%d, %d)", rng.Int63n(1<<33), rng.Intn(12))
+			}},
+			{"voter_tally", 0.2, func(rng *rand.Rand, _ time.Time) string {
+				return fmt.Sprintf("SELECT v.contestant, COUNT(*) FROM votes v WHERE v.contestant = %d GROUP BY v.contestant", rng.Intn(12))
+			}},
+		}},
+	}
+
+	anomalyRng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	var shapes []*Shape
+	for slot, b := range benches {
+		from := noisyStart.Add(time.Duration(slot) * benchSlotHours * time.Hour)
+		to := from.Add(benchSlotHours * time.Hour)
+		// Each benchmark gets a few random spike times within its slot.
+		var spikes []time.Time
+		for i := 0; i < 2; i++ {
+			spikes = append(spikes, from.Add(time.Duration(anomalyRng.Int63n(int64(benchSlotHours*time.Hour)))))
+		}
+		for _, bs := range b.shapes {
+			bs := bs
+			base := b.rate * bs.rel
+			slotFrom, slotTo := from, to
+			sp := spikes
+			shapes = append(shapes, &Shape{
+				Name:       fmt.Sprintf("%s.%s", b.name, bs.name),
+				ActiveFrom: slotFrom,
+				Rate: func(at time.Time) float64 {
+					if at.Before(slotFrom) || !at.Before(slotTo) {
+						return 0
+					}
+					v := base
+					for _, s := range sp {
+						d := at.Sub(s).Minutes()
+						if d >= 0 && d < 10 { // 10-minute anomaly spikes
+							v *= 4
+						}
+					}
+					return v
+				},
+				Gen: bs.gen,
+			})
+		}
+	}
+
+	return &Workload{
+		Name:   "noisy",
+		DBMS:   "synthetic",
+		Tables: 40,
+		Shapes: shapes,
+		Noise:  0.5,
+		Seed:   seed,
+		Start:  noisyStart,
+		End:    noisyStart.Add(time.Duration(len(benches)) * benchSlotHours * time.Hour),
+	}
+}

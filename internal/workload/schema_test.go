@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"qb5000/internal/engine"
+)
+
+// TestSetupEngineExecutesWorkloadQueries is the contract between the trace
+// generators and the embedded engine: every query a workload generates must
+// execute against its schema.
+func TestSetupEngineExecutesWorkloadQueries(t *testing.T) {
+	for _, name := range []string{"admissions", "bustracker"} {
+		eng := engine.New()
+		if err := SetupEngine(eng, name, 2000, 1); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var w *Workload
+		if name == "admissions" {
+			w = Admissions(1)
+		} else {
+			w = BusTracker(1)
+		}
+		executed := 0
+		err := w.Replay(w.Start, w.Start.Add(2*time.Hour), 10*time.Minute, func(ev Event) error {
+			if _, err := eng.Execute(ev.SQL); err != nil {
+				t.Errorf("%s: %q: %v", name, ev.SQL, err)
+			}
+			executed++
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if executed == 0 {
+			t.Fatalf("%s: no queries executed", name)
+		}
+	}
+}
+
+func TestSetupEngineCreatesPrimaryIndexesOnly(t *testing.T) {
+	eng := engine.New()
+	if err := SetupEngine(eng, "bustracker", 500, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, tbl := range eng.Tables() {
+		for _, ix := range tbl.Indexes() {
+			if len(ix.Columns) != 1 || ix.Columns[0] != "id" {
+				t.Fatalf("unexpected secondary index %s on %s", ix.Name, tbl.Name)
+			}
+		}
+	}
+	// route_stops intentionally has no id column and thus no index.
+	if tbl, ok := eng.Table("route_stops"); !ok || tbl.RowCount() == 0 {
+		t.Fatal("route_stops missing or empty")
+	}
+}
+
+func TestSetupEngineUnknownWorkload(t *testing.T) {
+	if err := SetupEngine(engine.New(), "nope", 10, 1); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSetupEngineScalesRowCounts(t *testing.T) {
+	small := engine.New()
+	if err := SetupEngine(small, "admissions", 1000, 1); err != nil {
+		t.Fatal(err)
+	}
+	big := engine.New()
+	if err := SetupEngine(big, "admissions", 4000, 1); err != nil {
+		t.Fatal(err)
+	}
+	ts, _ := small.Table("applications")
+	tb, _ := big.Table("applications")
+	if tb.RowCount() != 4*ts.RowCount() {
+		t.Fatalf("scaling broken: %d vs %d", ts.RowCount(), tb.RowCount())
+	}
+}

@@ -1,0 +1,284 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"qb5000/internal/preprocess"
+	"qb5000/internal/sqlparse"
+)
+
+func preprocessNew() *preprocess.Preprocessor {
+	return preprocess.New(preprocess.Options{Seed: 1})
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	collect := func() []Event {
+		w := BusTracker(42)
+		var evs []Event
+		w.Replay(w.Start, w.Start.Add(2*time.Hour), 10*time.Minute, func(ev Event) error {
+			evs = append(evs, ev)
+			return nil
+		})
+		return evs
+	}
+	a, b := collect(), collect()
+	if len(a) == 0 {
+		t.Fatal("no events generated")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestReplayDifferentSeedsDiffer(t *testing.T) {
+	count := func(seed int64) int64 {
+		w := BusTracker(seed)
+		var n int64
+		w.Replay(w.Start, w.Start.Add(2*time.Hour), 10*time.Minute, func(ev Event) error {
+			n += ev.Count
+			return nil
+		})
+		return n
+	}
+	if count(1) == count(2) {
+		t.Skip("unlikely but possible collision; not a failure signal by itself")
+	}
+}
+
+func TestAllWorkloadsGenerateParseableSQL(t *testing.T) {
+	for _, w := range []*Workload{Admissions(1), BusTracker(2), MOOC(3), Noisy(4)} {
+		seen := 0
+		err := w.Replay(w.Start, w.Start.Add(3*time.Hour), 15*time.Minute, func(ev Event) error {
+			seen++
+			if _, err := sqlparse.Parse(ev.SQL); err != nil {
+				return err
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if seen == 0 {
+			t.Fatalf("%s: no events in 3h", w.Name)
+		}
+	}
+}
+
+func TestBusTrackerRushHourCycle(t *testing.T) {
+	w := BusTracker(5)
+	// Expected rate at 8am on a weekday must far exceed 3am.
+	wed := time.Date(2017, time.December, 6, 0, 0, 0, 0, time.UTC)
+	night := w.ExpectedRate(wed.Add(3 * time.Hour))
+	rush := w.ExpectedRate(wed.Add(8 * time.Hour))
+	if rush < 3*night {
+		t.Fatalf("rush %v not >> night %v", rush, night)
+	}
+	// Weekends are quieter than weekdays at rush hour.
+	sat := time.Date(2017, time.December, 9, 8, 0, 0, 0, time.UTC)
+	if w.ExpectedRate(sat) > rush {
+		t.Fatalf("weekend rush %v exceeds weekday %v", w.ExpectedRate(sat), rush)
+	}
+}
+
+func TestAdmissionsDeadlineSpike(t *testing.T) {
+	w := Admissions(6)
+	calm := time.Date(2017, time.October, 10, 20, 0, 0, 0, time.UTC)
+	spike := time.Date(2017, time.December, 15, 20, 0, 0, 0, time.UTC)
+	if w.ExpectedRate(spike) < 5*w.ExpectedRate(calm) {
+		t.Fatalf("deadline rate %v not >> calm %v", w.ExpectedRate(spike), w.ExpectedRate(calm))
+	}
+	// The spike repeats the previous year.
+	spike16 := time.Date(2016, time.December, 15, 20, 0, 0, 0, time.UTC)
+	calm16 := time.Date(2016, time.October, 10, 20, 0, 0, 0, time.UTC)
+	if w.ExpectedRate(spike16) < 5*w.ExpectedRate(calm16) {
+		t.Fatal("2016 deadline spike missing")
+	}
+	// Dec 1 (early decision) is smaller than Dec 15 (final).
+	dec1 := time.Date(2017, time.December, 1, 20, 0, 0, 0, time.UTC)
+	if w.ExpectedRate(dec1) >= w.ExpectedRate(spike) {
+		t.Fatalf("Dec 1 %v should be below Dec 15 %v", w.ExpectedRate(dec1), w.ExpectedRate(spike))
+	}
+}
+
+func TestMOOCEvolution(t *testing.T) {
+	w := MOOC(7)
+	early := w.ActiveShapes(w.Start.Add(24 * time.Hour))
+	late := w.ActiveShapes(w.Start.Add(80 * 24 * time.Hour))
+	if late <= early {
+		t.Fatalf("no evolution: %d → %d shapes", early, late)
+	}
+	// The forum launch adds a burst of shapes in early May.
+	before := w.ActiveShapes(time.Date(2017, time.May, 4, 0, 0, 0, 0, time.UTC))
+	after := w.ActiveShapes(time.Date(2017, time.May, 6, 0, 0, 0, 0, time.UTC))
+	if after-before < 5 {
+		t.Fatalf("forum launch added only %d shapes", after-before)
+	}
+}
+
+func TestNoisySlotsAreExclusive(t *testing.T) {
+	w := Noisy(8)
+	// During slot 0 only wikipedia shapes fire; during slot 1 only tatp.
+	slot0 := w.Start.Add(2 * time.Hour)
+	slot1 := w.Start.Add(12 * time.Hour)
+	for _, s := range w.Shapes {
+		active0 := s.Rate(slot0) > 0
+		active1 := s.Rate(slot1) > 0
+		isWiki := len(s.Name) >= 4 && s.Name[:4] == "wiki"
+		isTatp := len(s.Name) >= 4 && s.Name[:4] == "tatp"
+		if isWiki && (!active0 || active1) {
+			t.Fatalf("%s active in wrong slot", s.Name)
+		}
+		if isTatp && (active0 || !active1) {
+			t.Fatalf("%s active in wrong slot", s.Name)
+		}
+	}
+}
+
+func TestPoissonMeanAndEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += float64(poisson(rng, 4))
+	}
+	mean := sum / n
+	if math.Abs(mean-4) > 0.1 {
+		t.Fatalf("poisson(4) mean = %v", mean)
+	}
+	if poisson(rng, 0) != 0 || poisson(rng, -1) != 0 {
+		t.Fatal("non-positive lambda must yield 0")
+	}
+	// Normal-approximation regime.
+	var big float64
+	for i := 0; i < 2000; i++ {
+		big += float64(poisson(rng, 500))
+	}
+	if m := big / 2000; math.Abs(m-500) > 5 {
+		t.Fatalf("poisson(500) mean = %v", m)
+	}
+}
+
+func TestDriftMeanNearOne(t *testing.T) {
+	d := newDrift(3, 0.1)
+	var sum float64
+	n := 0
+	for day := 0; day < 400; day++ {
+		at := time.Date(2017, 1, 1, 12, 0, 0, 0, time.UTC).Add(time.Duration(day) * 24 * time.Hour)
+		sum += d(at)
+		n++
+	}
+	mean := sum / float64(n)
+	if mean < 0.8 || mean > 1.25 {
+		t.Fatalf("drift mean = %v, want ≈1", mean)
+	}
+	// Deterministic: same inputs give same outputs.
+	at := time.Date(2017, 5, 5, 7, 0, 0, 0, time.UTC)
+	if d(at) != d(at) {
+		t.Fatal("drift not deterministic")
+	}
+}
+
+func TestReplayErrorsOnBadStep(t *testing.T) {
+	w := BusTracker(1)
+	if err := w.Replay(w.Start, w.End, 0, func(Event) error { return nil }); err == nil {
+		t.Fatal("expected error for non-positive step")
+	}
+}
+
+func TestExpectedRateExcludesInactiveShapes(t *testing.T) {
+	w := MOOC(1)
+	beforeLaunch := w.Start.Add(time.Hour)
+	// Recompute manually: only shapes with ActiveFrom zero-or-past count.
+	var want float64
+	for _, s := range w.Shapes {
+		if !s.ActiveFrom.IsZero() && beforeLaunch.Before(s.ActiveFrom) {
+			continue
+		}
+		want += s.Rate(beforeLaunch)
+	}
+	if w.Drift != nil {
+		want *= w.Drift(beforeLaunch)
+	}
+	if got := w.ExpectedRate(beforeLaunch); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ExpectedRate = %v, want %v", got, want)
+	}
+}
+
+func TestNoisyAnomalySpikesPresent(t *testing.T) {
+	w := Noisy(8)
+	// Within the first benchmark slot there are injected anomaly windows
+	// where the rate quadruples; scan minute-by-minute for one.
+	var maxRate, baseRate float64
+	slotMid := w.Start.Add(5 * time.Hour)
+	baseRate = w.ExpectedRate(slotMid)
+	for m := 0; m < 600; m++ {
+		at := w.Start.Add(time.Duration(m) * time.Minute)
+		if r := w.ExpectedRate(at); r > maxRate {
+			maxRate = r
+		}
+	}
+	if maxRate < 2*baseRate {
+		t.Fatalf("no anomaly spike found: max %v vs base %v", maxRate, baseRate)
+	}
+}
+
+func TestBusTrackerRiderGroupSharesPattern(t *testing.T) {
+	// The four rider shapes must correlate strongly over a day (they form
+	// the Figure 3 cluster) despite their phase offsets.
+	w := BusTracker(3)
+	day := time.Date(2017, time.December, 6, 0, 0, 0, 0, time.UTC)
+	series := func(name string) []float64 {
+		var s *Shape
+		for _, sh := range w.Shapes {
+			if sh.Name == name {
+				s = sh
+			}
+		}
+		if s == nil {
+			t.Fatalf("shape %s missing", name)
+		}
+		out := make([]float64, 24*4)
+		for i := range out {
+			out[i] = s.Rate(day.Add(time.Duration(i) * 15 * time.Minute))
+		}
+		return out
+	}
+	a, b := series("nearby_stops"), series("arrival_prediction")
+	// Cosine similarity by hand.
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if cos := dot / math.Sqrt(na*nb); cos < 0.8 {
+		t.Fatalf("rider shapes cosine %v < 0.8 (would not co-cluster)", cos)
+	}
+}
+
+// TestReplayPreprocessorInvariant: the preprocessor's query count must equal
+// the sum of event counts it ingested.
+func TestReplayPreprocessorInvariant(t *testing.T) {
+	w := MOOC(13)
+	var total int64
+	pre := preprocessNew()
+	err := w.Replay(w.Start, w.Start.Add(12*time.Hour), 10*time.Minute, func(ev Event) error {
+		total += ev.Count
+		_, err := pre.ProcessBatch(ev.SQL, ev.At, ev.Count)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pre.Stats().TotalQueries; got != total {
+		t.Fatalf("preprocessor counted %d, events carried %d", got, total)
+	}
+}

@@ -1,0 +1,266 @@
+// Package qb5000 is a Go implementation of QueryBot 5000, the query-based
+// workload forecasting framework for self-driving database management
+// systems from Ma et al., SIGMOD 2018.
+//
+// A Forecaster ingests the raw SQL stream a DBMS executes. It converts each
+// query into a generic template (constants stripped, formatting normalized,
+// semantically equivalent shapes folded together), tracks each template's
+// arrival-rate history at one-minute granularity, clusters templates whose
+// arrival patterns move together, and fits forecasting models to the
+// highest-volume clusters. A self-driving DBMS's planning module then asks
+// for the expected arrival rates one hour, one day, or one week ahead and
+// schedules optimizations — index builds, resource provisioning — against
+// the future workload instead of the past one.
+//
+// Minimal usage:
+//
+//	f := qb5000.New(qb5000.Config{Horizons: []time.Duration{time.Hour}})
+//	f.Observe("SELECT * FROM foo WHERE id = 42", time.Now())
+//	f.Maintain(time.Now())                  // recluster + train (periodic)
+//	preds, err := f.Forecast(time.Hour)     // expected rates per cluster
+package qb5000
+
+import (
+	"io"
+	"time"
+
+	"qb5000/internal/cluster"
+	"qb5000/internal/core"
+	"qb5000/internal/preprocess"
+)
+
+// Config tunes a Forecaster. The zero value reproduces the paper's operating
+// point: ρ=0.8, γ=150 %, one-hour prediction interval, three-week training
+// window, top clusters covering 95 % of volume (max 5), daily re-clustering,
+// and the HYBRID (LR+RNN ensemble corrected by kernel regression) model.
+type Config struct {
+	// Rho is the clustering similarity threshold in [0,1].
+	Rho float64
+	// Gamma is the spike-override threshold for the HYBRID model
+	// (1.5 = paper's 150 %).
+	Gamma float64
+	// Interval is the prediction interval.
+	Interval time.Duration
+	// Horizons lists the prediction horizons to maintain models for.
+	Horizons []time.Duration
+	// TrainWindow bounds how much history the models train on.
+	TrainWindow time.Duration
+	// CoverageTarget picks how many clusters to model.
+	CoverageTarget float64
+	// MaxClusters caps the modeled clusters.
+	MaxClusters int
+	// ClusterEvery is the periodic re-cluster cadence.
+	ClusterEvery time.Duration
+	// Model selects the forecasting family: "LR", "KR", "ARMA", "FNN",
+	// "RNN", "PSRNN", "ENSEMBLE", or "HYBRID".
+	Model string
+	// UseLogicalFeatures switches clustering to the logical-feature
+	// baseline the paper evaluates in §7.7 (worse; for comparison only).
+	UseLogicalFeatures bool
+	// Seed makes every stochastic component reproducible.
+	Seed int64
+	// Epochs and LearnRate tune the neural models.
+	Epochs    int
+	LearnRate float64
+}
+
+// Forecaster is the public QB5000 instance.
+type Forecaster struct {
+	ctl *core.Controller
+}
+
+// New creates a Forecaster.
+func New(cfg Config) *Forecaster {
+	mode := cluster.ArrivalRate
+	if cfg.UseLogicalFeatures {
+		mode = cluster.Logical
+	}
+	return &Forecaster{ctl: core.New(core.Config{
+		Rho:            cfg.Rho,
+		Gamma:          cfg.Gamma,
+		Interval:       cfg.Interval,
+		Horizons:       cfg.Horizons,
+		TrainWindow:    cfg.TrainWindow,
+		CoverageTarget: cfg.CoverageTarget,
+		MaxClusters:    cfg.MaxClusters,
+		ClusterEvery:   cfg.ClusterEvery,
+		Model:          cfg.Model,
+		FeatureMode:    mode,
+		Seed:           cfg.Seed,
+		Epochs:         cfg.Epochs,
+		LearnRate:      cfg.LearnRate,
+	})}
+}
+
+// Observe forwards one executed query to the framework. Forwarding is
+// lightweight and off the DBMS's critical path (§3); errors indicate SQL the
+// template parser does not understand.
+func (f *Forecaster) Observe(sql string, at time.Time) error {
+	return f.ctl.Ingest(sql, at, 1)
+}
+
+// ObserveBatch forwards count identical arrivals at once — useful when
+// replaying aggregated traces.
+func (f *Forecaster) ObserveBatch(sql string, at time.Time, count int64) error {
+	return f.ctl.Ingest(sql, at, count)
+}
+
+// Tick performs any due periodic maintenance (history compaction,
+// re-clustering, retraining) and reports whether a re-cluster ran. Call it
+// regularly — e.g. once per simulated or real hour.
+func (f *Forecaster) Tick(now time.Time) (bool, error) {
+	return f.ctl.Tick(now)
+}
+
+// Maintain forces an immediate re-cluster and retrain.
+func (f *Forecaster) Maintain(now time.Time) error {
+	return f.ctl.Refresh(now)
+}
+
+// ClusterForecast is the predicted arrival rate for one template cluster.
+type ClusterForecast struct {
+	// ClusterID identifies the cluster.
+	ClusterID int64
+	// Templates holds the canonical SQL of the cluster's member templates.
+	Templates []string
+	// PerTemplateRate is the predicted average arrival rate per template,
+	// in queries per prediction interval.
+	PerTemplateRate float64
+	// TotalRate is the cluster's total predicted volume per interval.
+	TotalRate float64
+}
+
+// Forecast returns the predicted arrival rates for the tracked clusters at
+// the given horizon. The horizon must be one of Config.Horizons and enough
+// history must have been observed for training.
+func (f *Forecaster) Forecast(horizon time.Duration) ([]ClusterForecast, error) {
+	preds, err := f.ctl.Forecast(horizon)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ClusterForecast, 0, len(preds))
+	for _, p := range preds {
+		cf := ClusterForecast{
+			ClusterID:       p.Cluster.ID,
+			PerTemplateRate: p.PerTemplateRate,
+			TotalRate:       p.TotalRate,
+		}
+		for _, id := range p.Cluster.MemberIDs() {
+			if t, ok := f.ctl.Preprocessor().Template(id); ok {
+				cf.Templates = append(cf.Templates, t.SQL)
+			}
+		}
+		out = append(out, cf)
+	}
+	return out, nil
+}
+
+// Stats summarizes what the framework is tracking.
+type Stats struct {
+	// TotalQueries is the number of queries observed.
+	TotalQueries int64
+	// Templates is the live template count after Pre-Processor reduction.
+	Templates int
+	// Clusters is the live cluster count.
+	Clusters int
+	// TrackedClusters is how many clusters currently have models.
+	TrackedClusters int
+	// ParseErrors counts queries the template parser rejected.
+	ParseErrors int64
+}
+
+// Stats reports the current reduction statistics (cf. paper Table 2).
+func (f *Forecaster) Stats() Stats {
+	ps := f.ctl.Preprocessor().Stats()
+	return Stats{
+		TotalQueries:    ps.TotalQueries,
+		Templates:       ps.NumTemplates,
+		Clusters:        f.ctl.Clusterer().Len(),
+		TrackedClusters: len(f.ctl.Tracked()),
+		ParseErrors:     ps.ParseErrors,
+	}
+}
+
+// TemplateInfo describes one tracked template.
+type TemplateInfo struct {
+	ID        int64
+	SQL       string
+	Count     int64
+	FirstSeen time.Time
+	LastSeen  time.Time
+	// SampleParams are reservoir-sampled parameter vectors from the
+	// template's original queries, for re-instantiating representative
+	// queries during optimization planning.
+	SampleParams [][]string
+}
+
+// Templates lists the live templates ordered by ID.
+func (f *Forecaster) Templates() []TemplateInfo {
+	ts := f.ctl.Preprocessor().Templates()
+	out := make([]TemplateInfo, 0, len(ts))
+	for _, t := range ts {
+		out = append(out, TemplateInfo{
+			ID:           t.ID,
+			SQL:          t.SQL,
+			Count:        t.Count,
+			FirstSeen:    t.FirstSeen,
+			LastSeen:     t.LastSeen,
+			SampleParams: t.Params.Sample(),
+		})
+	}
+	return out
+}
+
+// Templatize converts a raw SQL string into its canonical template and
+// extracted parameters without registering it with any Forecaster.
+func Templatize(sql string) (template string, params []string, err error) {
+	res, err := preprocess.Templatize(sql)
+	if err != nil {
+		return "", nil, err
+	}
+	ps := make([]string, len(res.Params))
+	for i, p := range res.Params {
+		ps[i] = p.Value
+	}
+	return res.SQL, ps, nil
+}
+
+// Save persists the forecaster's durable state — the template catalog with
+// its arrival-rate histories — to w. Clusters and trained models are derived
+// state; they are rebuilt by the first Maintain/Tick after a Load.
+func (f *Forecaster) Save(w io.Writer) error {
+	return f.ctl.Snapshot(w)
+}
+
+// Load reconstructs a Forecaster from a snapshot written by Save, under the
+// given configuration.
+func Load(cfg Config, r io.Reader) (*Forecaster, error) {
+	mode := cluster.ArrivalRate
+	if cfg.UseLogicalFeatures {
+		mode = cluster.Logical
+	}
+	ctl, err := core.RestoreController(core.Config{
+		Rho:            cfg.Rho,
+		Gamma:          cfg.Gamma,
+		Interval:       cfg.Interval,
+		Horizons:       cfg.Horizons,
+		TrainWindow:    cfg.TrainWindow,
+		CoverageTarget: cfg.CoverageTarget,
+		MaxClusters:    cfg.MaxClusters,
+		ClusterEvery:   cfg.ClusterEvery,
+		Model:          cfg.Model,
+		FeatureMode:    mode,
+		Seed:           cfg.Seed,
+		Epochs:         cfg.Epochs,
+		LearnRate:      cfg.LearnRate,
+	}, r)
+	if err != nil {
+		return nil, err
+	}
+	return &Forecaster{ctl: ctl}, nil
+}
+
+// Controller exposes the underlying controller for advanced integrations
+// (experiment harnesses, the index-advisor example). Most callers should not
+// need it.
+func (f *Forecaster) Controller() *core.Controller { return f.ctl }
