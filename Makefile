@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short cover bench experiments experiments-quick vet fmt clean
+.PHONY: all build test test-short cover bench race lint ci experiments experiments-quick vet fmt clean
 
 all: build test
 
@@ -18,6 +18,27 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Run the full suite under the race detector (mirrors the CI `race` job).
+race:
+	$(GO) test -race ./...
+
+# Mirrors the CI `lint` job. staticcheck runs when installed; install it
+# with: go install honnef.co/go/tools/cmd/staticcheck@latest
+lint:
+	test -z "$$(gofmt -l .)" || { gofmt -l .; exit 1; }
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+# Full local equivalent of the CI pipeline: lint, build, test, race, and a
+# one-iteration benchmark smoke.
+ci: lint build test race
+	$(GO) test -bench=. -benchtime=1x ./...
+	$(GO) run ./cmd/qb5000bench -exp table3
 
 # Regenerate every table and figure from the paper at full fidelity.
 experiments:

@@ -6,12 +6,15 @@
 package qb5000
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"testing"
 	"time"
 
+	"qb5000/internal/cluster"
+	"qb5000/internal/core"
 	"qb5000/internal/experiments"
 	"qb5000/internal/forecast"
 	"qb5000/internal/mat"
@@ -139,6 +142,72 @@ func BenchmarkRNNFitEpoch(b *testing.B) {
 	}
 }
 
+// benchRetrain measures the controller's full maintenance pass — clustering
+// plus per-horizon model training — at the given worker-pool bound. The
+// Sequential/Parallel pair quantifies the tentpole speedup: with four
+// horizons and an iterative model family, the parallel retrain should
+// approach a linear speedup on multi-core hardware while producing
+// bit-identical models (see TestForecastDeterminismAcrossParallelism).
+func benchRetrain(b *testing.B, parallelism int) {
+	b.Helper()
+	ctl := core.New(core.Config{
+		Model: "ENSEMBLE",
+		Horizons: []time.Duration{
+			time.Hour, 2 * time.Hour, 3 * time.Hour, 4 * time.Hour,
+		},
+		Seed:        1,
+		Epochs:      4,
+		Parallelism: parallelism,
+	})
+	w := workload.BusTracker(1)
+	to := w.Start.Add(8 * 24 * time.Hour)
+	err := w.Replay(w.Start, to, 10*time.Minute, func(ev workload.Event) error {
+		return ctl.Ingest(ev.SQL, ev.At, ev.Count)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := ctl.Refresh(ctx, to); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRetrainSequential(b *testing.B) { benchRetrain(b, 1) }
+func BenchmarkRetrainParallel(b *testing.B)   { benchRetrain(b, 0) }
+
+// BenchmarkClusterUpdateSequential/Parallel isolate the clusterer's
+// similarity scan and centroid update cost on a replayed catalog.
+func benchClusterUpdate(b *testing.B, parallelism int) {
+	b.Helper()
+	pre := preprocess.New(preprocess.Options{Seed: 1})
+	w := workload.BusTracker(1)
+	to := w.Start.Add(7 * 24 * time.Hour)
+	err := w.Replay(w.Start, to, 10*time.Minute, func(ev workload.Event) error {
+		_, err := pre.ProcessBatch(ev.SQL, ev.At, ev.Count)
+		return err
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		clu := newBenchClusterer(parallelism)
+		if _, err := clu.Update(ctx, to, pre.Templates()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterUpdateSequential(b *testing.B) { benchClusterUpdate(b, 1) }
+func BenchmarkClusterUpdateParallel(b *testing.B)   { benchClusterUpdate(b, 0) }
+
 // BenchmarkReplayIngest measures full trace replay through the public API.
 func BenchmarkReplayIngest(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -151,6 +220,10 @@ func BenchmarkReplayIngest(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+func newBenchClusterer(parallelism int) *cluster.Clusterer {
+	return cluster.New(cluster.Options{Rho: 0.8, Seed: 2, Parallelism: parallelism})
 }
 
 func benchHistory(rows, cols int) *mat.Matrix {

@@ -25,6 +25,7 @@ func main() {
 		list  = flag.Bool("list", false, "list experiment IDs and exit")
 		quick = flag.Bool("quick", false, "shrink spans and training effort")
 		seed  = flag.Int64("seed", 1, "trace generator seed")
+		par   = flag.Int("parallel", 0, "experiments run concurrently by -exp all (0 = all cores, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -40,7 +41,7 @@ func main() {
 		return
 	}
 
-	opt := experiments.Options{Seed: *seed, Quick: *quick}
+	opt := experiments.Options{Seed: *seed, Quick: *quick, Parallelism: *par}
 	start := time.Now()
 	var err error
 	if *exp == "all" {

@@ -13,14 +13,23 @@
 //	    curl -s --data-binary @- localhost:8500/observe
 //	curl -s -X POST localhost:8500/maintain
 //	curl -s 'localhost:8500/forecast?horizon=1h'
+//
+// SIGINT/SIGTERM shut the daemon down cleanly: in-flight HTTP requests get a
+// grace period and a retrain in progress is cancelled at the next worker-pool
+// boundary instead of running to completion.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"qb5000"
@@ -29,18 +38,24 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8500", "listen address")
-		horizon  = flag.Duration("horizon", time.Hour, "prediction horizon to train")
-		model    = flag.String("model", "HYBRID", "forecast model family")
-		seed     = flag.Int64("seed", 1, "random seed")
-		loadPath = flag.String("load", "", "restore the catalog from a snapshot at startup")
+		addr        = flag.String("addr", ":8500", "listen address")
+		horizon     = flag.Duration("horizon", time.Hour, "prediction horizon to train")
+		model       = flag.String("model", "HYBRID", "forecast model family")
+		seed        = flag.Int64("seed", 1, "random seed")
+		parallelism = flag.Int("parallelism", 0, "worker pool size for clustering/training (0 = all cores, 1 = sequential)")
+		maintain    = flag.Duration("maintain-every", 0, "periodic re-cluster + retrain cadence (0 disables the background loop)")
+		loadPath    = flag.String("load", "", "restore the catalog from a snapshot at startup")
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	cfg := qb5000.Config{
-		Model:    *model,
-		Horizons: []time.Duration{*horizon},
-		Seed:     *seed,
+		Model:       *model,
+		Horizons:    []time.Duration{*horizon},
+		Seed:        *seed,
+		Parallelism: *parallelism,
 	}
 	var f *qb5000.Forecaster
 	if *loadPath != "" {
@@ -48,10 +63,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		f, err = qb5000.Load(cfg, file)
+		var lerr error
+		f, lerr = qb5000.Load(cfg, file)
 		file.Close()
-		if err != nil {
-			log.Fatal(err)
+		if lerr != nil {
+			log.Fatal(lerr)
 		}
 		log.Printf("restored %d templates from %s", f.Stats().Templates, *loadPath)
 	} else {
@@ -59,6 +75,38 @@ func main() {
 	}
 
 	srv := server.New(f)
-	fmt.Printf("qb5000d listening on %s (model=%s, horizon=%v)\n", *addr, *model, *horizon)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler(), BaseContext: func(net.Listener) context.Context { return ctx }}
+
+	if *maintain > 0 {
+		go func() {
+			ticker := time.NewTicker(*maintain)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					if err := srv.Maintain(ctx); err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, server.ErrNoObservations) {
+						log.Printf("maintain: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("qb5000d listening on %s (model=%s, horizon=%v, parallelism=%d)\n", *addr, *model, *horizon, *parallelism)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		log.Printf("shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}
 }

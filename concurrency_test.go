@@ -1,0 +1,159 @@
+package qb5000
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"qb5000/internal/workload"
+)
+
+// replayForecaster builds a forecaster over an 8-day BusTracker slice and
+// trains it, returning the forecaster and the end of the replay window.
+func replayForecaster(t *testing.T, cfg Config) (*Forecaster, time.Time) {
+	t.Helper()
+	f := New(cfg)
+	w := workload.BusTracker(3)
+	to := w.Start.Add(8 * 24 * time.Hour)
+	err := w.Replay(w.Start, to, 10*time.Minute, func(ev workload.Event) error {
+		return f.ObserveBatch(ev.SQL, ev.At, ev.Count)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Maintain(to); err != nil {
+		t.Fatal(err)
+	}
+	return f, to
+}
+
+// TestForecastDeterminismAcrossParallelism pins the tentpole guarantee: the
+// parallel retrain/cluster pipeline produces bit-identical forecasts to the
+// sequential one, because per-model seeds derive from Config.Seed rather
+// than scheduling order and the clusterer applies pool results in a fixed
+// order.
+func TestForecastDeterminismAcrossParallelism(t *testing.T) {
+	horizons := []time.Duration{time.Hour, 2 * time.Hour, 3 * time.Hour}
+	base := Config{
+		Model:    "ENSEMBLE",
+		Horizons: horizons,
+		Seed:     3,
+		Epochs:   4,
+	}
+
+	seq := base
+	seq.Parallelism = 1
+	par := base
+	par.Parallelism = 8
+
+	fSeq, _ := replayForecaster(t, seq)
+	fPar, _ := replayForecaster(t, par)
+
+	for _, h := range horizons {
+		a, err := fSeq.Forecast(h)
+		if err != nil {
+			t.Fatalf("sequential forecast %v: %v", h, err)
+		}
+		b, err := fPar.Forecast(h)
+		if err != nil {
+			t.Fatalf("parallel forecast %v: %v", h, err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("horizon %v: %d vs %d clusters", h, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].ClusterID != b[i].ClusterID {
+				t.Fatalf("horizon %v cluster %d: IDs %d vs %d", h, i, a[i].ClusterID, b[i].ClusterID)
+			}
+			if a[i].PerTemplateRate != b[i].PerTemplateRate || a[i].TotalRate != b[i].TotalRate {
+				t.Fatalf("horizon %v cluster %d: sequential (%v, %v) != parallel (%v, %v)",
+					h, i, a[i].PerTemplateRate, a[i].TotalRate, b[i].PerTemplateRate, b[i].TotalRate)
+			}
+		}
+	}
+}
+
+// TestConcurrentMaintainAndForecast exercises the Forecaster's concurrency
+// contract under the race detector: maintenance rebuilds model state while
+// forecasts, stats, and observations run from other goroutines.
+func TestConcurrentMaintainAndForecast(t *testing.T) {
+	f, to := replayForecaster(t, Config{
+		Model:       "LR",
+		Horizons:    []time.Duration{time.Hour},
+		Seed:        9,
+		Parallelism: 4,
+	})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := f.Forecast(time.Hour); err != nil {
+					t.Errorf("forecast: %v", err)
+					return
+				}
+				f.Stats()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		at := to
+		for i := 0; i < 50; i++ {
+			at = at.Add(time.Minute)
+			if err := f.ObserveBatch("SELECT a FROM t WHERE x = 1", at, 2); err != nil {
+				t.Errorf("observe: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		if err := f.Maintain(to.Add(time.Duration(i+1) * time.Minute)); err != nil {
+			t.Fatalf("maintain: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestMaintainContextCancellation verifies a cancelled context aborts the
+// maintenance pass instead of finishing the retrain.
+func TestMaintainContextCancellation(t *testing.T) {
+	f := New(Config{Model: "LR", Horizons: []time.Duration{time.Hour}, Seed: 7, Parallelism: 2})
+	w := workload.BusTracker(7)
+	to := w.Start.Add(5 * 24 * time.Hour)
+	err := w.Replay(w.Start, to, 10*time.Minute, func(ev workload.Event) error {
+		return f.ObserveBatch(ev.SQL, ev.At, ev.Count)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := f.MaintainContext(ctx, to); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The aborted pass must not leave half-trained models behind.
+	if _, err := f.Forecast(time.Hour); err == nil {
+		t.Fatal("expected no trained model after cancelled maintenance")
+	}
+	// A later uncancelled pass recovers cleanly.
+	if err := f.Maintain(to); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Forecast(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -47,7 +48,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := ctl.Refresh(to); err != nil {
+	if err := ctl.Refresh(context.Background(), to); err != nil {
 		log.Fatal(err)
 	}
 

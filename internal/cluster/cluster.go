@@ -17,6 +17,7 @@
 package cluster
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -24,6 +25,7 @@ import (
 
 	"qb5000/internal/kdtree"
 	"qb5000/internal/mat"
+	"qb5000/internal/parallel"
 	"qb5000/internal/preprocess"
 	"qb5000/internal/timeseries"
 )
@@ -56,6 +58,10 @@ type Options struct {
 	Seed int64
 	// Mode selects arrival-rate (default) or logical features.
 	Mode FeatureMode
+	// Parallelism bounds the worker pool used for the feature extraction,
+	// similarity scans, and centroid updates: 0 selects GOMAXPROCS, 1 runs
+	// fully sequentially. Results are identical at every setting.
+	Parallelism int
 }
 
 // DefaultOptions mirror the paper's operating point.
@@ -139,7 +145,12 @@ type UpdateResult struct {
 
 // Update runs the three incremental steps against the current catalog at
 // time now. Templates absent from the slice are dropped from their clusters.
-func (c *Clusterer) Update(now time.Time, templates []*preprocess.Template) UpdateResult {
+// The feature extraction, eviction similarity scan, centroid updates, and
+// merge scan run on a bounded worker pool (Options.Parallelism); the result
+// is identical at every parallelism setting. The only error Update returns
+// is a cancelled ctx (or a worker panic), in which case the clusterer must
+// be treated as stale and refreshed by a later pass.
+func (c *Clusterer) Update(ctx context.Context, now time.Time, templates []*preprocess.Template) (UpdateResult, error) {
 	var res UpdateResult
 
 	live := make(map[int64]*preprocess.Template, len(templates))
@@ -159,23 +170,40 @@ func (c *Clusterer) Update(now time.Time, templates []*preprocess.Template) Upda
 	}
 
 	// Compute this round's features for every live template.
-	c.computeFeatures(now, templates)
-	for _, cl := range c.clusters {
-		c.recomputeCenter(cl)
+	if err := c.computeFeatures(ctx, now, templates); err != nil {
+		return res, err
+	}
+	if err := c.recomputeAllCenters(ctx); err != nil {
+		return res, err
 	}
 
-	// Step 2: evict members that drifted away from their center.
+	// Step 2: evict members that drifted away from their center. The
+	// similarity of every member against its (snapshotted) center is
+	// computed on the pool; evictions are then applied sequentially, so the
+	// same set is evicted regardless of worker count.
+	sims := make([]float64, len(templates))
+	err := parallel.ForEach(ctx, c.opts.Parallelism, len(templates), func(_ context.Context, i int) error {
+		t := templates[i]
+		cid, ok := c.assignment[t.ID]
+		if !ok {
+			return nil
+		}
+		sims[i] = c.similarity(c.features[t.ID], c.clusters[cid].center)
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
 	var unassigned []*preprocess.Template
 	seen := make(map[int64]bool)
-	for _, t := range templates {
+	for i, t := range templates {
 		cid, ok := c.assignment[t.ID]
 		if !ok {
 			unassigned = append(unassigned, t)
 			continue
 		}
 		seen[t.ID] = true
-		cl := c.clusters[cid]
-		if c.similarity(c.features[t.ID], cl.center) < c.opts.Rho {
+		if sims[i] < c.opts.Rho {
 			c.removeMember(cid, t.ID)
 			delete(c.assignment, t.ID)
 			unassigned = append(unassigned, t)
@@ -206,31 +234,57 @@ func (c *Clusterer) Update(now time.Time, templates []*preprocess.Template) Upda
 	}
 
 	// Step 3: merge clusters whose centers are closer than ρ.
-	res.Merged = c.mergeClusters()
+	merged, err := c.mergeClusters(ctx)
+	if err != nil {
+		return res, err
+	}
+	res.Merged = merged
 	if res.Merged > 0 {
 		res.Changed = true
 	}
-	return res
+	return res, nil
 }
 
 // computeFeatures samples this round's timestamps and builds each template's
-// feature vector.
-func (c *Clusterer) computeFeatures(now time.Time, templates []*preprocess.Template) {
+// feature vector. The per-template history sampling — the clusterer's
+// dominant cost, O(templates × FeatureSize) — runs on the pool: timestamps
+// are drawn from the RNG once up front, each worker writes only its own
+// template's slot, and the map is assembled sequentially afterwards.
+func (c *Clusterer) computeFeatures(ctx context.Context, now time.Time, templates []*preprocess.Template) error {
 	c.features = make(map[int64][]float64, len(templates))
 	if c.opts.Mode == Logical {
 		for _, t := range templates {
 			c.features[t.ID] = t.Features.LogicalVector()
 		}
-		return
+		return nil
 	}
 	c.stamps = timeseries.SampleTimestamps(c.rng, now.Add(-c.opts.FeatureWindow), now, c.opts.FeatureSize)
-	for _, t := range templates {
+	feats := make([][]float64, len(templates))
+	err := parallel.ForEach(ctx, c.opts.Parallelism, len(templates), func(_ context.Context, i int) error {
 		feat := make([]float64, len(c.stamps))
-		for i, ts := range c.stamps {
-			feat[i] = t.History.At(ts)
+		for j, ts := range c.stamps {
+			feat[j] = templates[i].History.At(ts)
 		}
-		c.features[t.ID] = feat
+		feats[i] = feat
+		return nil
+	})
+	if err != nil {
+		return err
 	}
+	for i, t := range templates {
+		c.features[t.ID] = feats[i]
+	}
+	return nil
+}
+
+// recomputeAllCenters refreshes every cluster's center against this round's
+// features. Each worker owns one cluster, so the writes never overlap.
+func (c *Clusterer) recomputeAllCenters(ctx context.Context) error {
+	ids := c.clusterIDs()
+	return parallel.ForEach(ctx, c.opts.Parallelism, len(ids), func(_ context.Context, i int) error {
+		c.recomputeCenter(c.clusters[ids[i]])
+		return nil
+	})
 }
 
 // similarity is cosine for arrival-rate features and an L2-derived score in
@@ -370,24 +424,43 @@ func normalize(v []float64) []float64 {
 
 // mergeClusters repeatedly merges the pair of clusters whose centers are
 // more similar than ρ until no such pair remains, returning the number of
-// merges. Cluster counts stay small after pruning, so the quadratic pair
-// scan is cheap relative to feature computation.
-func (c *Clusterer) mergeClusters() int {
+// merges. Each round's O(k²) pair scan fans out over the rows of the upper
+// triangle; every worker records the best partner for its own rows, and the
+// sequential reduction over rows reproduces the exact pair the serial
+// double loop would pick (ties broken by ascending ID order).
+func (c *Clusterer) mergeClusters(ctx context.Context) (int, error) {
 	merged := 0
 	for {
 		ids := c.clusterIDs()
+		type rowBest struct {
+			sim float64
+			j   int64
+		}
+		rows := make([]rowBest, len(ids))
+		err := parallel.ForEach(ctx, c.opts.Parallelism, len(ids), func(_ context.Context, i int) error {
+			best := rowBest{sim: -1}
+			a := c.clusters[ids[i]]
+			for j := i + 1; j < len(ids); j++ {
+				b := c.clusters[ids[j]]
+				if s := c.similarity(a.center, b.center); s >= c.opts.Rho && s > best.sim {
+					best = rowBest{sim: s, j: ids[j]}
+				}
+			}
+			rows[i] = best
+			return nil
+		})
+		if err != nil {
+			return merged, err
+		}
 		var bestA, bestB int64
 		best := -1.0
-		for i := 0; i < len(ids); i++ {
-			for j := i + 1; j < len(ids); j++ {
-				a, b := c.clusters[ids[i]], c.clusters[ids[j]]
-				if s := c.similarity(a.center, b.center); s >= c.opts.Rho && s > best {
-					best, bestA, bestB = s, ids[i], ids[j]
-				}
+		for i, rb := range rows {
+			if rb.sim > best {
+				best, bestA, bestB = rb.sim, ids[i], rb.j
 			}
 		}
 		if best < 0 {
-			return merged
+			return merged, nil
 		}
 		dst, src := c.clusters[bestA], c.clusters[bestB]
 		for id, t := range src.Members {
@@ -399,6 +472,9 @@ func (c *Clusterer) mergeClusters() int {
 		merged++
 	}
 }
+
+// Parallelism reports the clusterer's configured worker bound.
+func (c *Clusterer) Parallelism() int { return c.opts.Parallelism }
 
 func (c *Clusterer) clusterIDs() []int64 {
 	ids := make([]int64, 0, len(c.clusters))

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -15,7 +16,7 @@ func TestCoverageEdgeCases(t *testing.T) {
 	}
 	p := preprocess.New(preprocess.Options{Seed: 1})
 	synthTemplate(t, p, "SELECT a FROM t WHERE x = 1", 1, func(int) float64 { return 5 })
-	clu.Update(now, p.Templates())
+	clu.Update(context.Background(), now, p.Templates())
 	// k larger than the cluster count covers everything.
 	if got := clu.Coverage(99, now, 24*time.Hour); got != 1 {
 		t.Fatalf("coverage(99) = %v", got)
@@ -28,11 +29,11 @@ func TestUpdateResultCounts(t *testing.T) {
 	synthTemplate(t, p, "SELECT b FROM t WHERE x = 1", 3, dayPeak(8, 1.5, 2))
 	clu := New(Options{Rho: 0.8, Seed: 1})
 	now := base.Add(3 * 24 * time.Hour)
-	res := clu.Update(now, p.Templates())
+	res, _ := clu.Update(context.Background(), now, p.Templates())
 	if !res.Changed || res.Assigned != 2 {
 		t.Fatalf("first update: %+v", res)
 	}
-	res = clu.Update(now.Add(time.Hour), p.Templates())
+	res, _ = clu.Update(context.Background(), now.Add(time.Hour), p.Templates())
 	if res.Changed {
 		t.Fatalf("steady state flagged changed: %+v", res)
 	}
@@ -49,7 +50,7 @@ func TestClusterMemberIDsSorted(t *testing.T) {
 	}
 	clu := New(Options{Rho: 0.8, Seed: 1})
 	now := base.Add(2 * 24 * time.Hour)
-	clu.Update(now, p.Templates())
+	clu.Update(context.Background(), now, p.Templates())
 	for _, cl := range clu.Clusters(now, 24*time.Hour) {
 		ids := cl.MemberIDs()
 		for i := 1; i < len(ids); i++ {
@@ -65,7 +66,7 @@ func TestClusterMemberIDsSorted(t *testing.T) {
 
 func TestEmptyCatalogUpdate(t *testing.T) {
 	clu := New(Options{Rho: 0.8, Seed: 1})
-	res := clu.Update(base, nil)
+	res, _ := clu.Update(context.Background(), base, nil)
 	if res.Changed || clu.Len() != 0 {
 		t.Fatalf("empty update: %+v, len %d", res, clu.Len())
 	}
@@ -87,7 +88,7 @@ func TestShortFeatureWindowForgetsOldBehaviour(t *testing.T) {
 	b := synthTemplate(t, p, "SELECT b FROM t WHERE x = 1", 6, dayPeak(8, 1.5, 2))
 	clu := New(Options{Rho: 0.8, Seed: 1, FeatureWindow: 48 * time.Hour})
 	now := base.Add(6 * 24 * time.Hour)
-	clu.Update(now, p.Templates())
+	clu.Update(context.Background(), now, p.Templates())
 	ca, _ := clu.Assignment(a.ID)
 	cb, _ := clu.Assignment(b.ID)
 	if ca != cb {

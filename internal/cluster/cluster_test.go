@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -51,7 +52,7 @@ func TestClusterGroupsSimilarPatterns(t *testing.T) {
 
 	clu := New(Options{Rho: 0.8, Seed: 2})
 	now := base.Add(7 * 24 * time.Hour)
-	res := clu.Update(now, p.Templates())
+	res, _ := clu.Update(context.Background(), now, p.Templates())
 	if res.Assigned != 3 {
 		t.Fatalf("assigned %d templates", res.Assigned)
 	}
@@ -75,8 +76,8 @@ func TestClusterStableAcrossUpdates(t *testing.T) {
 	synthTemplate(t, p, "SELECT b FROM t WHERE x = 1", 7, dayPeak(8, 1.5, 1))
 	clu := New(Options{Rho: 0.8, Seed: 2})
 	now := base.Add(7 * 24 * time.Hour)
-	clu.Update(now, p.Templates())
-	res := clu.Update(now.Add(time.Hour), p.Templates())
+	clu.Update(context.Background(), now, p.Templates())
+	res, _ := clu.Update(context.Background(), now.Add(time.Hour), p.Templates())
 	if res.Moved != 0 || res.Merged != 0 || res.Removed != 0 {
 		t.Fatalf("stable workload churned: %+v", res)
 	}
@@ -87,12 +88,12 @@ func TestClusterRemovesDeadTemplates(t *testing.T) {
 	a := synthTemplate(t, p, "SELECT a FROM t WHERE x = 1", 3, dayPeak(8, 1.5, 1))
 	clu := New(Options{Rho: 0.8, Seed: 2})
 	now := base.Add(3 * 24 * time.Hour)
-	clu.Update(now, p.Templates())
+	clu.Update(context.Background(), now, p.Templates())
 	if clu.Len() != 1 {
 		t.Fatalf("clusters = %d", clu.Len())
 	}
 	// Catalog is now empty: the template must be dropped.
-	res := clu.Update(now.Add(time.Hour), nil)
+	res, _ := clu.Update(context.Background(), now.Add(time.Hour), nil)
 	if res.Removed != 1 || clu.Len() != 0 {
 		t.Fatalf("removed = %d, clusters = %d", res.Removed, clu.Len())
 	}
@@ -113,7 +114,7 @@ func TestClusterMergesWhenPatternsConverge(t *testing.T) {
 
 	clu := New(Options{Rho: 0.8, Seed: 2, FeatureWindow: 5 * 24 * time.Hour})
 	now := base.Add(5 * 24 * time.Hour)
-	clu.Update(now, p.Templates())
+	clu.Update(context.Background(), now, p.Templates())
 	ca0, _ := clu.Assignment(a.ID)
 	cb0, _ := clu.Assignment(b.ID)
 	if ca0 == cb0 {
@@ -130,7 +131,7 @@ func TestClusterMergesWhenPatternsConverge(t *testing.T) {
 		}
 	}
 	later := base.Add(11 * 24 * time.Hour)
-	clu.Update(later, p.Templates())
+	clu.Update(context.Background(), later, p.Templates())
 	ca1, _ := clu.Assignment(a.ID)
 	cb1, _ := clu.Assignment(b.ID)
 	if ca1 != cb1 {
@@ -145,7 +146,7 @@ func TestVolumeAndCoverage(t *testing.T) {
 	_ = small
 	clu := New(Options{Rho: 0.8, Seed: 2})
 	now := base.Add(2 * 24 * time.Hour)
-	clu.Update(now, p.Templates())
+	clu.Update(context.Background(), now, p.Templates())
 
 	clusters := clu.Clusters(now, 24*time.Hour)
 	if len(clusters) == 0 {
@@ -189,7 +190,7 @@ func TestLogicalModeClustersByStructure(t *testing.T) {
 	b := synthTemplate(t, p, "SELECT a FROM t WHERE y = 2", 3, dayPeak(20, 1.5, 3))
 	clu := New(Options{Rho: 0.3, Seed: 2, Mode: Logical})
 	now := base.Add(3 * 24 * time.Hour)
-	clu.Update(now, p.Templates())
+	clu.Update(context.Background(), now, p.Templates())
 	ca, _ := clu.Assignment(a.ID)
 	cb, _ := clu.Assignment(b.ID)
 	if ca != cb {
@@ -207,7 +208,7 @@ func TestManyTemplatesBounded(t *testing.T) {
 	}
 	clu := New(Options{Rho: 0.8, Seed: 2})
 	now := base.Add(3 * 24 * time.Hour)
-	clu.Update(now, p.Templates())
+	clu.Update(context.Background(), now, p.Templates())
 	if clu.Len() > 6 {
 		t.Fatalf("expected ~3 clusters, got %d", clu.Len())
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -24,7 +25,7 @@ func TestTickCadence(t *testing.T) {
 	ctl := New(Config{Model: "LR", ClusterEvery: 24 * time.Hour, Seed: 1})
 	to := replayDays(t, ctl, w, 3)
 
-	ran, err := ctl.Tick(to)
+	ran, err := ctl.Tick(context.Background(), to)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,14 +33,14 @@ func TestTickCadence(t *testing.T) {
 		t.Fatal("first tick should recluster")
 	}
 	// Immediately after, nothing is due and no new templates appeared.
-	ran, err = ctl.Tick(to.Add(time.Minute))
+	ran, err = ctl.Tick(context.Background(), to.Add(time.Minute))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ran {
 		t.Fatal("tick re-ran without cadence or trigger")
 	}
-	ran, err = ctl.Tick(to.Add(25 * time.Hour))
+	ran, err = ctl.Tick(context.Background(), to.Add(25*time.Hour))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestNewTemplateTriggerForcesRecluster(t *testing.T) {
 	w := workload.BusTracker(3)
 	ctl := New(Config{Model: "LR", ClusterEvery: 240 * time.Hour, NewTemplateTrigger: 0.2, Seed: 1})
 	to := replayDays(t, ctl, w, 2)
-	if _, err := ctl.Tick(to); err != nil {
+	if _, err := ctl.Tick(context.Background(), to); err != nil {
 		t.Fatal(err)
 	}
 	// Inject a burst of brand-new templates (> 20% of catalog).
@@ -63,7 +64,7 @@ func TestNewTemplateTriggerForcesRecluster(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	ran, err := ctl.Tick(to.Add(2 * time.Minute))
+	ran, err := ctl.Tick(context.Background(), to.Add(2*time.Minute))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestForecastClampsAbsurdPredictions(t *testing.T) {
 	w := workload.BusTracker(3)
 	ctl := New(Config{Model: "LR", Horizons: []time.Duration{time.Hour}, Seed: 1})
 	to := replayDays(t, ctl, w, 8)
-	if err := ctl.Refresh(to); err != nil {
+	if err := ctl.Refresh(context.Background(), to); err != nil {
 		t.Fatal(err)
 	}
 	preds, err := ctl.Forecast(time.Hour)
@@ -109,7 +110,7 @@ func TestMultipleHorizons(t *testing.T) {
 		Seed:     1,
 	})
 	to := replayDays(t, ctl, w, 8)
-	if err := ctl.Refresh(to); err != nil {
+	if err := ctl.Refresh(context.Background(), to); err != nil {
 		t.Fatal(err)
 	}
 	hs := ctl.Horizons()
@@ -134,7 +135,7 @@ func TestRetrainSkipsWhenHistoryTooShort(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ctl.Refresh(to); err != nil {
+	if err := ctl.Refresh(context.Background(), to); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := ctl.Forecast(time.Hour); err == nil {
@@ -172,7 +173,7 @@ func TestEnsembleModelThroughController(t *testing.T) {
 		Seed:     1,
 	})
 	to := replayDays(t, ctl, w, 8)
-	if err := ctl.Refresh(to); err != nil {
+	if err := ctl.Refresh(context.Background(), to); err != nil {
 		t.Fatal(err)
 	}
 	preds, err := ctl.Forecast(time.Hour)
@@ -201,7 +202,7 @@ func TestHybridModelThroughController(t *testing.T) {
 		Seed:     1,
 	})
 	to := replayDays(t, ctl, w, 9)
-	if err := ctl.Refresh(to); err != nil {
+	if err := ctl.Refresh(context.Background(), to); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := ctl.Forecast(time.Hour); err != nil {

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -14,6 +15,7 @@ import (
 	"qb5000/internal/cluster"
 	"qb5000/internal/forecast"
 	"qb5000/internal/mat"
+	"qb5000/internal/parallel"
 	"qb5000/internal/preprocess"
 	"qb5000/internal/timeseries"
 )
@@ -60,6 +62,11 @@ type Config struct {
 	Lag time.Duration
 	// EvictAfter drops templates idle for this long (default 14 days).
 	EvictAfter time.Duration
+	// Parallelism bounds the worker pool shared by model retraining and the
+	// clusterer's similarity scans: 0 selects GOMAXPROCS, 1 forces the
+	// sequential path. Per-model seeds are derived deterministically from
+	// Seed, so results are bit-identical at every setting.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -129,6 +136,7 @@ func New(cfg Config) *Controller {
 			Seed:        cfg.Seed + 1,
 			Mode:        cfg.FeatureMode,
 			FeatureSize: cfg.FeatureSize,
+			Parallelism: cfg.Parallelism,
 		}),
 		models: make(map[time.Duration]forecast.Model),
 	}
@@ -167,30 +175,42 @@ func (c *Controller) LastSeen() time.Time { return c.lastSeen }
 // Tick performs due maintenance at the (simulated or wall-clock) time now:
 // history compaction, periodic re-clustering, the early re-cluster trigger
 // on new-template share, and model retraining whenever assignments changed.
-// It returns whether a re-cluster ran.
-func (c *Controller) Tick(now time.Time) (bool, error) {
+// It returns whether a re-cluster ran. Cancelling ctx aborts the clustering
+// and training work between pool items; the controller keeps its previous
+// models and cluster state is refreshed by the next pass.
+func (c *Controller) Tick(ctx context.Context, now time.Time) (bool, error) {
 	due := now.Sub(c.lastCluster) >= c.cfg.ClusterEvery
 	trigger := c.pre.NewTemplateRatio() > c.cfg.NewTemplateTrigger && c.pre.Len() > 0
 	if !due && !trigger {
 		return false, nil
 	}
-	return true, c.Refresh(now)
+	return true, c.Refresh(ctx, now)
 }
 
 // Refresh forces a full re-cluster and model retrain. The paper's framework
 // periodically updates both the cluster assignments and the forecasting
 // models (§3), and additionally retrains whenever assignments change; since
 // Refresh IS the periodic update, it always retrains on the latest history.
-func (c *Controller) Refresh(now time.Time) error {
+func (c *Controller) Refresh(ctx context.Context, now time.Time) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	c.pre.Maintain(now)
-	c.clu.Update(now, c.pre.Templates())
+	if _, err := c.clu.Update(ctx, now, c.pre.Templates()); err != nil {
+		return err
+	}
 	c.pre.MarkNewTemplates()
 	c.lastCluster = now
-	return c.retrain(now)
+	return c.retrain(ctx, now)
 }
 
 // retrain rebuilds the tracked-cluster set and fits one model per horizon.
-func (c *Controller) retrain(now time.Time) error {
+// The per-horizon fits — the hottest path in the framework (Table 4: RNN
+// training dominates) — run on the worker pool. Every horizon's model seeds
+// from Config.Seed plus the horizon, exactly as the sequential path always
+// did, and each worker writes only its own result slot, so the trained
+// models are bit-identical at every Parallelism setting.
+func (c *Controller) retrain(ctx context.Context, now time.Time) error {
 	c.selectTracked(now)
 	if len(c.tracked) == 0 {
 		return nil
@@ -205,8 +225,15 @@ func (c *Controller) retrain(now time.Time) error {
 			c.maxTrainLog = v
 		}
 	}
-	trained := false
-	for _, h := range c.cfg.Horizons {
+	// The HYBRID spike history is shared read-only by every horizon's fit;
+	// build it once instead of per horizon.
+	var spikeHist *mat.Matrix
+	if c.cfg.Model == "HYBRID" {
+		spikeHist = c.fullHourlyMatrix(now)
+	}
+	fitted := make([]forecast.Model, len(c.cfg.Horizons))
+	err := parallel.ForEach(ctx, c.cfg.Parallelism, len(c.cfg.Horizons), func(_ context.Context, i int) error {
+		h := c.cfg.Horizons[i]
 		horizon := int(h / c.cfg.Interval)
 		if horizon < 1 {
 			horizon = 1
@@ -220,7 +247,7 @@ func (c *Controller) retrain(now time.Time) error {
 			LearnRate: c.cfg.LearnRate,
 		}
 		if hist.Rows < cfg.Lag+cfg.Horizon+1 {
-			continue
+			return nil
 		}
 		m, err := forecast.NewByName(c.cfg.Model, cfg)
 		if err != nil {
@@ -233,9 +260,20 @@ func (c *Controller) retrain(now time.Time) error {
 			// The spike model trains on the entire hourly history; a young
 			// deployment may not have enough of it yet, in which case the
 			// hybrid silently degrades to plain ENSEMBLE.
-			_ = hy.FitSpike(c.fullHourlyMatrix(now))
+			_ = hy.FitSpike(spikeHist)
 		}
-		c.models[h] = m
+		fitted[i] = m
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	trained := false
+	for i, h := range c.cfg.Horizons {
+		if fitted[i] == nil {
+			continue
+		}
+		c.models[h] = fitted[i]
 		trained = true
 	}
 	if trained {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -31,7 +32,7 @@ func TestPipelineSmoke(t *testing.T) {
 		t.Fatalf("expected at least 10 templates, got %d", got)
 	}
 
-	if err := ctl.Refresh(to); err != nil {
+	if err := ctl.Refresh(context.Background(), to); err != nil {
 		t.Fatalf("refresh: %v", err)
 	}
 	if ctl.Clusterer().Len() == 0 {

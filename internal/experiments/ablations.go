@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -127,7 +128,9 @@ func ablFeatureSize(opt Options, w io.Writer) error {
 		for _, size := range sizes {
 			clu := cluster.New(cluster.Options{Rho: 0.8, Seed: opt.seed() + 1, FeatureSize: size})
 			start := time.Now()
-			clu.Update(to, pre.Templates())
+			if _, err := clu.Update(context.Background(), to, pre.Templates()); err != nil {
+				return err
+			}
 			fmt.Fprintf(w, " %4d/%3dms", clu.Len(), time.Since(start).Milliseconds())
 		}
 		fmt.Fprintln(w)

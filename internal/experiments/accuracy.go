@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -377,7 +378,9 @@ func fig13(opt Options, w io.Writer) error {
 		fmt.Fprintf(w, "%-12s", wl.Name)
 		for _, rho := range rhoSweep {
 			clu := cluster.New(cluster.Options{Rho: rho, Seed: opt.seed() + 1})
-			clu.Update(to, pre.Templates())
+			if _, err := clu.Update(context.Background(), to, pre.Templates()); err != nil {
+				return err
+			}
 			fmt.Fprintf(w, "  %7.3f", clu.Coverage(3, to, 24*time.Hour))
 		}
 		fmt.Fprintln(w)
@@ -404,7 +407,9 @@ func fig14(opt Options, w io.Writer) error {
 		fmt.Fprintf(w, "%-12s", wl.Name)
 		for _, rho := range rhoSweep {
 			clu := cluster.New(cluster.Options{Rho: rho, Seed: opt.seed() + 1})
-			clu.Update(to, pre.Templates())
+			if _, err := clu.Update(context.Background(), to, pre.Templates()); err != nil {
+				return err
+			}
 			ct := &clusteredTrace{w: wl, pre: pre, clu: clu, from: from, to: to}
 			top := ct.topClusters(1.0, 3)
 			hist := logMatrix(top, from, to, time.Hour)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -189,7 +190,7 @@ func runIndexPolicy(opt Options, name string, pol indexPolicy, p autoIndexParams
 	if err != nil {
 		return nil, err
 	}
-	if err := ctl.Refresh(expStart); err != nil {
+	if err := ctl.Refresh(context.Background(), expStart); err != nil {
 		return nil, err
 	}
 

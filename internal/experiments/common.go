@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -50,10 +51,13 @@ type clusteredTrace struct {
 func buildClusters(w *workload.Workload, from, to time.Time, step time.Duration, rho float64, mode cluster.FeatureMode, seed int64) (*clusteredTrace, error) {
 	pre := preprocess.New(preprocess.Options{Seed: seed})
 	clu := cluster.New(cluster.Options{Rho: rho, Seed: seed + 1, Mode: mode})
+	ctx := context.Background()
 	nextUpdate := from.Add(24 * time.Hour)
 	err := w.Replay(from, to, step, func(ev workload.Event) error {
 		if !ev.At.Before(nextUpdate) {
-			clu.Update(nextUpdate, pre.Templates())
+			if _, err := clu.Update(ctx, nextUpdate, pre.Templates()); err != nil {
+				return err
+			}
 			nextUpdate = nextUpdate.Add(24 * time.Hour)
 		}
 		_, err := pre.ProcessBatch(ev.SQL, ev.At, ev.Count)
@@ -62,7 +66,9 @@ func buildClusters(w *workload.Workload, from, to time.Time, step time.Duration,
 	if err != nil {
 		return nil, err
 	}
-	clu.Update(to, pre.Templates())
+	if _, err := clu.Update(ctx, to, pre.Templates()); err != nil {
+		return nil, err
+	}
 	return &clusteredTrace{w: w, pre: pre, clu: clu, from: from, to: to}, nil
 }
 

@@ -5,9 +5,14 @@
 package experiments
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"sort"
+	"sync"
+
+	"qb5000/internal/parallel"
 )
 
 // Options configure a run.
@@ -18,6 +23,11 @@ type Options struct {
 	// whole suite finishes in a few minutes. Shapes are preserved; absolute
 	// numbers are noisier.
 	Quick bool
+	// Parallelism bounds how many experiments RunAll executes concurrently:
+	// 0 selects GOMAXPROCS, 1 reproduces the serial suite. Experiments are
+	// independent (each builds its own traces and models from Seed), so the
+	// reports are identical at every setting.
+	Parallelism int
 }
 
 func (o Options) seed() int64 {
@@ -84,13 +94,43 @@ func Run(id string, opt Options, w io.Writer) error {
 	return e.fn(opt, w)
 }
 
-// RunAll executes every experiment in order.
+// RunAll executes every experiment, fanning the independent configurations
+// out across the worker pool. Each experiment renders into its own buffer
+// and the reports are emitted in the suite's canonical order, so the output
+// is byte-identical to a serial run.
 func RunAll(opt Options, w io.Writer) error {
-	for _, id := range IDs() {
-		if err := Run(id, opt, w); err != nil {
-			return fmt.Errorf("%s: %w", id, err)
+	ids := IDs()
+	bufs := make([]bytes.Buffer, len(ids))
+
+	// Stream each experiment's output as soon as it and everything before
+	// it have finished: workers fill per-experiment buffers, and whichever
+	// worker completes experiment `flushed` drains the contiguous done
+	// prefix. Output order (and bytes) match a serial run exactly.
+	var (
+		mu       sync.Mutex
+		done     = make([]bool, len(ids))
+		flushed  int
+		writeErr error
+	)
+	err := parallel.ForEach(context.Background(), opt.Parallelism, len(ids), func(_ context.Context, i int) error {
+		if err := Run(ids[i], opt, &bufs[i]); err != nil {
+			return fmt.Errorf("%s: %w", ids[i], err)
 		}
-		fmt.Fprintln(w)
+		mu.Lock()
+		defer mu.Unlock()
+		done[i] = true
+		for flushed < len(ids) && done[flushed] && writeErr == nil {
+			if _, err := bufs[flushed].WriteTo(w); err != nil {
+				writeErr = err
+				break
+			}
+			fmt.Fprintln(w)
+			flushed++
+		}
+		return writeErr
+	})
+	if err != nil {
+		return err
 	}
-	return nil
+	return writeErr
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -166,7 +167,9 @@ func dailyCoverage(wl *workload.Workload, opt Options, rho float64) (map[int]flo
 
 	next := from.Add(24 * time.Hour)
 	endOfDay := func(at time.Time) error {
-		clu.Update(at, pre.Templates())
+		if _, err := clu.Update(context.Background(), at, pre.Templates()); err != nil {
+			return err
+		}
 		days++
 		for k := 1; k <= 5; k++ {
 			covSum[k] += clu.Coverage(k, at, 24*time.Hour)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -47,7 +48,7 @@ func fig17(opt Options, w io.Writer) error {
 	next := from.Add(time.Hour)
 	err := wl.Replay(from, to, time.Minute, func(ev workload.Event) error {
 		for !ev.At.Before(next) {
-			ran, err := ctl.Tick(next)
+			ran, err := ctl.Tick(context.Background(), next)
 			if err != nil {
 				return err
 			}

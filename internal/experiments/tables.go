@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -132,7 +133,9 @@ func table4(opt Options, w io.Writer) error {
 	// Clusterer: one daily update over the full catalog.
 	clu := cluster.New(cluster.Options{Rho: 0.8, Seed: opt.seed()})
 	start = time.Now()
-	clu.Update(to, pre.Templates())
+	if _, err := clu.Update(context.Background(), to, pre.Templates()); err != nil {
+		return err
+	}
 	clusterTime := time.Since(start)
 	clusterBytes := pre.Len() * 16 // template→cluster assignment + id
 

@@ -1,6 +1,10 @@
 package nn
 
-import "sync"
+import (
+	"context"
+
+	"qb5000/internal/parallel"
+)
 
 // Clone deep-copies the layer's weights (with fresh gradient/moment
 // buffers), for data-parallel gradient accumulation.
@@ -34,10 +38,10 @@ func (n *LSTMNet) Clone() *LSTMNet {
 const trainWorkers = 4
 
 // TrainBatchParallel behaves like TrainBatch but splits the batch across a
-// fixed set of workers, each accumulating gradients into a private clone of
-// the network; the per-worker gradients are then combined in deterministic
-// order. Results differ from the serial path only by floating-point
-// association in the gradient sums.
+// fixed set of workers on the shared pool, each accumulating gradients into
+// a private clone of the network; the per-worker gradients are then combined
+// in deterministic order. Results differ from the serial path only by
+// floating-point association in the gradient sums.
 func (n *LSTMNet) TrainBatchParallel(seqs [][][]float64, targets [][]float64) float64 {
 	if len(seqs) < 2*trainWorkers {
 		return n.TrainBatch(seqs, targets)
@@ -48,7 +52,6 @@ func (n *LSTMNet) TrainBatchParallel(seqs [][][]float64, targets [][]float64) fl
 		size int
 	}
 	chunkSize := (len(seqs) + trainWorkers - 1) / trainWorkers
-	var wg sync.WaitGroup
 	results := make([]chunkResult, 0, trainWorkers)
 	for from := 0; from < len(seqs); from += chunkSize {
 		to := from + chunkSize
@@ -56,15 +59,15 @@ func (n *LSTMNet) TrainBatchParallel(seqs [][][]float64, targets [][]float64) fl
 			to = len(seqs)
 		}
 		results = append(results, chunkResult{net: n.Clone(), size: to - from})
-		r := &results[len(results)-1]
-		cs, ct := seqs[from:to], targets[from:to]
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			r.loss = r.net.TrainBatch(cs, ct)
-		}()
 	}
-	wg.Wait()
+	// Gradient accumulation never fails, so the pool error is impossible
+	// here (no context, no worker errors) — ignore it.
+	_ = parallel.ForEach(context.Background(), trainWorkers, len(results), func(_ context.Context, i int) error {
+		from := i * chunkSize
+		to := from + results[i].size
+		results[i].loss = results[i].net.TrainBatch(seqs[from:to], targets[from:to])
+		return nil
+	})
 
 	// Combine: each worker normalized its gradients by its own chunk size;
 	// rescale so the sum matches the serial full-batch normalization.

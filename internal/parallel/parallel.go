@@ -1,0 +1,141 @@
+// Package parallel provides the bounded worker pool the pipeline's hot
+// paths share: per-horizon model training in core, the clusterer's
+// similarity scans and centroid updates, and the experiment fan-out.
+//
+// The pool is deliberately minimal: callers describe work as n independent
+// indices and the pool runs them on up to `workers` goroutines. The first
+// error cancels the remaining work, panics inside workers are recovered and
+// surfaced as errors, and a cancelled context stops new indices from
+// starting. Determinism is the caller's job — the contract here is only that
+// every index in [0, n) runs at most once and that results written to
+// per-index slots never race.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a parallelism knob: values <= 0 select GOMAXPROCS
+// (use every core), 1 forces sequential execution, and larger values are
+// honored as given.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// PanicError wraps a panic recovered from a pool worker so it propagates as
+// an ordinary error instead of tearing down the process from a goroutine.
+type PanicError struct {
+	// Value is the value the worker panicked with.
+	Value any
+	// Stack is the worker's stack at the point of the panic.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: worker panic: %v\n%s", e.Value, e.Stack)
+}
+
+// ForEach runs fn(ctx, i) for every i in [0, n) on up to workers goroutines
+// (workers resolved via Workers). The first failure wins: its error is
+// returned, the shared context passed to fn is cancelled, and unstarted
+// indices are skipped. If the parent context is cancelled first, ForEach
+// returns its error. With workers == 1 (or n == 1) the work runs inline on
+// the calling goroutine in index order, checking ctx between items — the
+// exact sequential semantics Parallelism: 1 promises.
+func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := protect(ctx, i, fn); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64 // next index to claim
+		firstErr atomic.Pointer[error]
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		e := err
+		if firstErr.CompareAndSwap(nil, &e) {
+			cancel()
+		}
+	}
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || wctx.Err() != nil {
+					return
+				}
+				if err := protect(wctx, i, fn); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if p := firstErr.Load(); p != nil {
+		return *p
+	}
+	// The pool may have stopped early because the parent was cancelled.
+	return ctx.Err()
+}
+
+// protect invokes fn(ctx, i), converting a panic into a *PanicError.
+func protect(ctx context.Context, i int, fn func(ctx context.Context, i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 8192)
+			buf = buf[:runtime.Stack(buf, false)]
+			err = &PanicError{Value: r, Stack: buf}
+		}
+	}()
+	return fn(ctx, i)
+}
+
+// Map runs fn over items on up to workers goroutines and collects the
+// results in input order. On error the returned slice is nil and the first
+// error is reported with ForEach's semantics.
+func Map[T, R any](ctx context.Context, workers int, items []T, fn func(ctx context.Context, i int, item T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	err := ForEach(ctx, workers, len(items), func(ctx context.Context, i int) error {
+		r, err := fn(ctx, i, items[i])
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -14,22 +14,31 @@
 package server
 
 import (
-	"encoding/json"
+	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
 	"time"
 
+	"encoding/json"
+
 	"qb5000"
 	"qb5000/internal/tracefile"
 )
 
-// Server wraps a Forecaster with HTTP handlers. The Forecaster itself is
-// safe for concurrent Observe calls; maintenance and forecasting are
-// serialized with a mutex here because they rebuild shared model state.
+// ErrNoObservations is returned by Maintain before any query has been
+// observed (there is no clock to maintain against yet).
+var ErrNoObservations = errors.New("server: no observations yet")
+
+// Server wraps a Forecaster with HTTP handlers. The Forecaster is itself
+// safe for concurrent use (observations and maintenance serialize behind
+// its internal lock, forecasts run concurrently), so the handlers call it
+// directly; the server only guards its own lastSeen clock.
 type Server struct {
+	f *qb5000.Forecaster
+
 	mu sync.Mutex
-	f  *qb5000.Forecaster
 	// lastSeen tracks the newest observation for Maintain's clock.
 	lastSeen time.Time
 }
@@ -50,6 +59,20 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// Maintain re-clusters and retrains at the newest observed timestamp. The
+// daemon's background loop and the /maintain endpoint both route through
+// here; cancelling ctx (daemon shutdown, client disconnect) aborts the
+// retrain at the next worker-pool boundary.
+func (s *Server) Maintain(ctx context.Context) error {
+	s.mu.Lock()
+	now := s.lastSeen
+	s.mu.Unlock()
+	if now.IsZero() {
+		return ErrNoObservations
+	}
+	return s.f.MaintainContext(ctx, now)
+}
+
 // ObserveResult reports one /observe call's outcome.
 type ObserveResult struct {
 	Ingested int64 `json:"ingested"`
@@ -63,16 +86,16 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	}
 	var res ObserveResult
 	err := tracefile.Read(r.Body, func(e tracefile.Entry) error {
-		s.mu.Lock()
-		defer s.mu.Unlock()
 		if err := s.f.ObserveBatch(e.SQL, e.At, e.Count); err != nil {
 			res.Rejected += e.Count
 			return nil // keep ingesting; parse failures are per-query
 		}
 		res.Ingested += e.Count
+		s.mu.Lock()
 		if e.At.After(s.lastSeen) {
 			s.lastSeen = e.At
 		}
+		s.mu.Unlock()
 		return nil
 	})
 	if err != nil {
@@ -87,15 +110,12 @@ func (s *Server) handleMaintain(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	now := s.lastSeen
-	if now.IsZero() {
-		http.Error(w, "no observations yet", http.StatusConflict)
-		return
-	}
-	if err := s.f.Maintain(now); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	if err := s.Maintain(r.Context()); err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, ErrNoObservations) {
+			code = http.StatusConflict
+		}
+		http.Error(w, err.Error(), code)
 		return
 	}
 	writeJSON(w, s.f.Stats())
@@ -111,9 +131,7 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("bad horizon: %v", err), http.StatusBadRequest)
 		return
 	}
-	s.mu.Lock()
 	preds, err := s.f.Forecast(horizon)
-	s.mu.Unlock()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
@@ -126,10 +144,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
 		return
 	}
-	s.mu.Lock()
-	st := s.f.Stats()
-	s.mu.Unlock()
-	writeJSON(w, st)
+	writeJSON(w, s.f.Stats())
 }
 
 func (s *Server) handleTemplates(w http.ResponseWriter, r *http.Request) {
@@ -137,10 +152,7 @@ func (s *Server) handleTemplates(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
 		return
 	}
-	s.mu.Lock()
-	ts := s.f.Templates()
-	s.mu.Unlock()
-	writeJSON(w, ts)
+	writeJSON(w, s.f.Templates())
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

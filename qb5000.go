@@ -21,7 +21,9 @@
 package qb5000
 
 import (
+	"context"
 	"io"
+	"sync"
 	"time"
 
 	"qb5000/internal/cluster"
@@ -62,10 +64,18 @@ type Config struct {
 	// Epochs and LearnRate tune the neural models.
 	Epochs    int
 	LearnRate float64
+	// Parallelism bounds the worker pool used for model retraining and
+	// clustering: 0 selects GOMAXPROCS, 1 forces sequential execution.
+	// Results are bit-identical at every setting (per-model seeds derive
+	// from Seed, not from scheduling order).
+	Parallelism int
 }
 
-// Forecaster is the public QB5000 instance.
+// Forecaster is the public QB5000 instance. It is safe for concurrent use:
+// observations and maintenance serialize behind a write lock, while
+// Forecast, Stats, and Templates run concurrently under a read lock.
 type Forecaster struct {
+	mu  sync.RWMutex
 	ctl *core.Controller
 }
 
@@ -89,6 +99,7 @@ func New(cfg Config) *Forecaster {
 		Seed:           cfg.Seed,
 		Epochs:         cfg.Epochs,
 		LearnRate:      cfg.LearnRate,
+		Parallelism:    cfg.Parallelism,
 	})}
 }
 
@@ -96,12 +107,14 @@ func New(cfg Config) *Forecaster {
 // lightweight and off the DBMS's critical path (§3); errors indicate SQL the
 // template parser does not understand.
 func (f *Forecaster) Observe(sql string, at time.Time) error {
-	return f.ctl.Ingest(sql, at, 1)
+	return f.ObserveBatch(sql, at, 1)
 }
 
 // ObserveBatch forwards count identical arrivals at once — useful when
 // replaying aggregated traces.
 func (f *Forecaster) ObserveBatch(sql string, at time.Time, count int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	return f.ctl.Ingest(sql, at, count)
 }
 
@@ -109,12 +122,28 @@ func (f *Forecaster) ObserveBatch(sql string, at time.Time, count int64) error {
 // re-clustering, retraining) and reports whether a re-cluster ran. Call it
 // regularly — e.g. once per simulated or real hour.
 func (f *Forecaster) Tick(now time.Time) (bool, error) {
-	return f.ctl.Tick(now)
+	return f.TickContext(context.Background(), now)
+}
+
+// TickContext is Tick with cancellation: a cancelled ctx aborts clustering
+// and retraining between pool items, keeping the previous models.
+func (f *Forecaster) TickContext(ctx context.Context, now time.Time) (bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ctl.Tick(ctx, now)
 }
 
 // Maintain forces an immediate re-cluster and retrain.
 func (f *Forecaster) Maintain(now time.Time) error {
-	return f.ctl.Refresh(now)
+	return f.MaintainContext(context.Background(), now)
+}
+
+// MaintainContext is Maintain with cancellation semantics matching
+// TickContext.
+func (f *Forecaster) MaintainContext(ctx context.Context, now time.Time) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ctl.Refresh(ctx, now)
 }
 
 // ClusterForecast is the predicted arrival rate for one template cluster.
@@ -134,6 +163,8 @@ type ClusterForecast struct {
 // the given horizon. The horizon must be one of Config.Horizons and enough
 // history must have been observed for training.
 func (f *Forecaster) Forecast(horizon time.Duration) ([]ClusterForecast, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	preds, err := f.ctl.Forecast(horizon)
 	if err != nil {
 		return nil, err
@@ -171,6 +202,8 @@ type Stats struct {
 
 // Stats reports the current reduction statistics (cf. paper Table 2).
 func (f *Forecaster) Stats() Stats {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	ps := f.ctl.Preprocessor().Stats()
 	return Stats{
 		TotalQueries:    ps.TotalQueries,
@@ -196,6 +229,8 @@ type TemplateInfo struct {
 
 // Templates lists the live templates ordered by ID.
 func (f *Forecaster) Templates() []TemplateInfo {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	ts := f.ctl.Preprocessor().Templates()
 	out := make([]TemplateInfo, 0, len(ts))
 	for _, t := range ts {
@@ -229,6 +264,8 @@ func Templatize(sql string) (template string, params []string, err error) {
 // its arrival-rate histories — to w. Clusters and trained models are derived
 // state; they are rebuilt by the first Maintain/Tick after a Load.
 func (f *Forecaster) Save(w io.Writer) error {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	return f.ctl.Snapshot(w)
 }
 
@@ -253,6 +290,7 @@ func Load(cfg Config, r io.Reader) (*Forecaster, error) {
 		Seed:           cfg.Seed,
 		Epochs:         cfg.Epochs,
 		LearnRate:      cfg.LearnRate,
+		Parallelism:    cfg.Parallelism,
 	}, r)
 	if err != nil {
 		return nil, err
@@ -262,5 +300,6 @@ func Load(cfg Config, r io.Reader) (*Forecaster, error) {
 
 // Controller exposes the underlying controller for advanced integrations
 // (experiment harnesses, the index-advisor example). Most callers should not
-// need it.
+// need it. The controller is NOT synchronized: accessing it concurrently
+// with other Forecaster methods bypasses the Forecaster's lock.
 func (f *Forecaster) Controller() *core.Controller { return f.ctl }
