@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short cover bench race lint ci experiments experiments-quick vet fmt clean
+.PHONY: all build test test-short cover bench race lint ci experiments experiments-quick vet fmt clean fuzz-smoke
 
 all: build test
 
@@ -28,11 +28,16 @@ race:
 lint:
 	test -z "$$(gofmt -l .)" || { gofmt -l .; exit 1; }
 	$(GO) vet ./...
+	$(GO) run ./cmd/qb5000vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
+
+# 30-second coverage-guided fuzz of the SQL parser (mirrors the CI smoke).
+fuzz-smoke:
+	$(GO) test ./internal/sqlparse/ -run '^$$' -fuzz FuzzParse -fuzztime 30s
 
 # Full local equivalent of the CI pipeline: lint, build, test, race, and a
 # one-iteration benchmark smoke.

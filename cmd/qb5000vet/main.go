@@ -1,0 +1,67 @@
+// Command qb5000vet runs the project's determinism/concurrency analyzer
+// suite (DESIGN.md §7) over the module:
+//
+//	qb5000vet ./...
+//
+// It prints one line per finding and exits non-zero if any survive
+// suppression, so CI can gate on it. Findings are suppressed in source with
+//
+//	//lint:ignore analyzer[,analyzer...] reason
+//
+// on the offending line or the line directly above; the reason is
+// mandatory. Suppressions never apply to noclock findings inside the strict
+// model packages.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qb5000/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: qb5000vet [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the QB5000 determinism/concurrency analyzers (default ./...).\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.LoadPackages(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qb5000vet:", err)
+		os.Exit(2)
+	}
+
+	total := 0
+	for _, pkg := range pkgs {
+		// A package that no longer type-checks would silently produce no
+		// findings; fail loudly instead.
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "qb5000vet: %s: type error: %v\n", pkg.Path, terr)
+			total++
+		}
+		for _, f := range lint.Run(pkg, lint.All) {
+			fmt.Println(f)
+			total++
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "qb5000vet: %d finding(s)\n", total)
+		os.Exit(1)
+	}
+}

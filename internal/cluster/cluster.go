@@ -110,6 +110,7 @@ type Clusterer struct {
 
 // New creates a Clusterer.
 func New(opts Options) *Clusterer {
+	//lint:ignore floateq zero is the exact "use the default" sentinel, never a computed value
 	if opts.Rho == 0 {
 		opts.Rho = 0.8
 	}
@@ -335,19 +336,24 @@ func (c *Clusterer) removeMember(cid, tid int64) {
 }
 
 // recomputeCenter sets the cluster center to the arithmetic average of its
-// members' current feature vectors (§5.2 step 1).
+// members' current feature vectors (§5.2 step 1). Members are visited in
+// sorted ID order: float addition is not associative, so summing in map
+// iteration order would make the center's low bits vary run to run.
 func (c *Clusterer) recomputeCenter(cl *Cluster) {
+	ids := cl.MemberIDs()
 	var dim int
-	for id := range cl.Members {
-		dim = len(c.features[id])
-		break
+	for _, id := range ids {
+		if d := len(c.features[id]); d != 0 {
+			dim = d
+			break
+		}
 	}
 	if dim == 0 {
 		return
 	}
 	center := make([]float64, dim)
 	n := 0
-	for id := range cl.Members {
+	for _, id := range ids {
 		feat := c.features[id]
 		if len(feat) != dim {
 			continue
@@ -413,6 +419,7 @@ func (c *Clusterer) nearestCluster(tree *kdtree.Tree, feat []float64) (int64, bo
 func normalize(v []float64) []float64 {
 	n := mat.Norm2(v)
 	out := make([]float64, len(v))
+	//lint:ignore floateq only an exactly zero norm cannot be divided by; tiny norms are fine
 	if n == 0 {
 		return out
 	}
@@ -512,6 +519,7 @@ func (c *Clusterer) Clusters(now time.Time, window time.Duration) []*Cluster {
 		vol[cl.ID] = c.Volume(cl, now, window)
 	}
 	sort.Slice(out, func(i, j int) bool {
+		//lint:ignore floateq exact compare keeps the order a strict weak ordering; an epsilon would break transitivity
 		if vol[out[i].ID] != vol[out[j].ID] {
 			return vol[out[i].ID] > vol[out[j].ID]
 		}
@@ -521,11 +529,13 @@ func (c *Clusterer) Clusters(now time.Time, window time.Duration) []*Cluster {
 }
 
 // Volume returns the total query volume of the cluster's members over
-// [now-window, now).
+// [now-window, now). Members are summed in sorted ID order so the float
+// total is bit-identical across runs.
 func (c *Clusterer) Volume(cl *Cluster, now time.Time, window time.Duration) float64 {
 	var total float64
 	from := now.Add(-window)
-	for _, t := range cl.Members {
+	for _, id := range cl.MemberIDs() {
+		t := cl.Members[id]
 		for cur := from; cur.Before(now); cur = cur.Add(time.Minute) {
 			total += t.History.At(cur)
 		}
@@ -545,6 +555,7 @@ func (c *Clusterer) Coverage(k int, now time.Time, window time.Duration) float64
 			top += v
 		}
 	}
+	//lint:ignore floateq guards division by an exactly empty workload
 	if total == 0 {
 		return 0
 	}
@@ -568,7 +579,9 @@ func CenterSeries(cl *Cluster, from, to time.Time, interval time.Duration) *time
 	if minutes < 1 {
 		minutes = 1
 	}
-	for _, t := range cl.Members {
+	// Sorted member order keeps the per-bin float sums bit-identical.
+	for _, id := range cl.MemberIDs() {
+		t := cl.Members[id]
 		for i := 0; i < n; i++ {
 			binStart := out.TimeOf(i)
 			var sum float64

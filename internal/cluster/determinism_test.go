@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"qb5000/internal/preprocess"
+)
+
+// buildDeterminismTrace replays a fixed multi-pattern workload into a fresh
+// preprocessor: several template families with distinct daily shapes so the
+// clusterer produces multiple clusters with multiple members each.
+func buildDeterminismTrace(t *testing.T) *preprocess.Preprocessor {
+	t.Helper()
+	p := preprocess.New(preprocess.Options{Seed: 7})
+	shapes := []struct {
+		center, width, scale float64
+	}{
+		{8, 1.5, 2}, {8, 1.5, 1}, {8, 1.5, 3},
+		{14, 2.0, 2}, {14, 2.0, 1},
+		{20, 1.5, 2}, {20, 1.5, 1}, {20, 1.5, 4},
+	}
+	for i, s := range shapes {
+		sql := fmt.Sprintf("SELECT c%d FROM t WHERE x = %d", i, i)
+		synthTemplate(t, p, sql, 5, dayPeak(s.center, s.width, s.scale))
+	}
+	return p
+}
+
+// clusterFingerprint captures everything downstream consumers observe: the
+// template → cluster assignment and the exact bits of every centroid.
+func clusterFingerprint(clu *Clusterer, p *preprocess.Preprocessor) string {
+	var b strings.Builder
+	for _, tpl := range p.Templates() {
+		cid, ok := clu.Assignment(tpl.ID)
+		fmt.Fprintf(&b, "assign %d -> %d %v\n", tpl.ID, cid, ok)
+	}
+	for _, cid := range clu.clusterIDs() {
+		cl := clu.clusters[cid]
+		fmt.Fprintf(&b, "cluster %d members %v center", cid, cl.MemberIDs())
+		for _, v := range cl.center {
+			fmt.Fprintf(&b, " %016x", math.Float64bits(v))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestClusterUpdateDeterministic runs the full feature-extraction /
+// assignment / centroid-update pipeline ten times over the same trace and
+// requires byte-identical results: identical assignments and bit-identical
+// centroids. This is the regression test for the map-iteration-order bugs
+// qb5000vet's maporder analyzer exists to catch — any reintroduced
+// map-ordered float accumulation shows up here as a flaky fingerprint.
+func TestClusterUpdateDeterministic(t *testing.T) {
+	now := base.Add(5 * 24 * time.Hour)
+	var want string
+	for run := 0; run < 10; run++ {
+		p := buildDeterminismTrace(t)
+		clu := New(Options{Rho: 0.8, Seed: 3, FeatureWindow: 5 * 24 * time.Hour, Parallelism: 4})
+		if _, err := clu.Update(context.Background(), now, p.Templates()); err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		// A second update exercises the evict/re-assign/merge paths and the
+		// incremental recomputeCenter over established members.
+		if _, err := clu.Update(context.Background(), now.Add(time.Hour), p.Templates()); err != nil {
+			t.Fatalf("run %d second update: %v", run, err)
+		}
+		got := clusterFingerprint(clu, p)
+		if run == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("run %d fingerprint differs from run 0:\nrun 0:\n%s\nrun %d:\n%s", run, want, run, got)
+		}
+	}
+}

@@ -70,9 +70,11 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	//lint:ignore floateq zero is the exact "use the default" sentinel, never a computed value
 	if c.Rho == 0 {
 		c.Rho = 0.8
 	}
+	//lint:ignore floateq zero is the exact "use the default" sentinel
 	if c.Gamma == 0 {
 		c.Gamma = forecast.DefaultGamma
 	}
@@ -85,6 +87,7 @@ func (c Config) withDefaults() Config {
 	if c.TrainWindow == 0 {
 		c.TrainWindow = 21 * 24 * time.Hour
 	}
+	//lint:ignore floateq zero is the exact "use the default" sentinel
 	if c.CoverageTarget == 0 {
 		c.CoverageTarget = 0.95
 	}
@@ -94,6 +97,7 @@ func (c Config) withDefaults() Config {
 	if c.ClusterEvery == 0 {
 		c.ClusterEvery = 24 * time.Hour
 	}
+	//lint:ignore floateq zero is the exact "use the default" sentinel
 	if c.NewTemplateTrigger == 0 {
 		c.NewTemplateTrigger = 0.2
 	}

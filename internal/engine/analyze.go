@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"sort"
 	"strings"
 
 	"qb5000/internal/sqlparse"
@@ -24,8 +25,16 @@ func (e *Engine) AnalyzePredicates(stmt sqlparse.Statement) []ColumnPredicate {
 		if filter == nil {
 			return
 		}
-		for col, ss := range extractSargs(filter, alias, t) {
-			for _, s := range ss {
+		// Emit predicates in sorted column order; ranging over the sarg map
+		// directly would make the slice order vary run to run.
+		sargs := extractSargs(filter, alias, t)
+		cols := make([]string, 0, len(sargs))
+		for col := range sargs {
+			cols = append(cols, col)
+		}
+		sort.Strings(cols)
+		for _, col := range cols {
+			for _, s := range sargs[col] {
 				out = append(out, ColumnPredicate{Table: t.Name, Column: col, Op: s.op})
 			}
 		}
@@ -160,6 +169,7 @@ func (e *Engine) EstimateCost(stmt sqlparse.Statement, hypothetical map[string][
 		}
 		total += best
 	}
+	//lint:ignore floateq an exactly zero estimate means no costed predicate matched
 	if total == 0 {
 		total = unitQueryFixed
 	}

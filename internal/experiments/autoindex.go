@@ -297,10 +297,14 @@ func existingIndexes(eng *engine.Engine) map[string][][]string {
 // volume is split across its member templates' sampled instantiations. The
 // shorter horizon is weighted higher (§7.6).
 func forecastQueries(ctl *core.Controller) []indexsel.WeightedQuery {
-	weights := map[time.Duration]float64{time.Hour: 2, 12 * time.Hour: 1}
+	// A fixed slice (not a map) keeps the emitted query order stable.
+	horizons := []struct {
+		h time.Duration
+		w float64
+	}{{time.Hour, 2}, {12 * time.Hour, 1}}
 	var out []indexsel.WeightedQuery
-	for h, hw := range weights {
-		preds, err := ctl.Forecast(h)
+	for _, hw := range horizons {
+		preds, err := ctl.Forecast(hw.h)
 		if err != nil {
 			continue
 		}
@@ -321,7 +325,7 @@ func forecastQueries(ctl *core.Controller) []indexsel.WeightedQuery {
 				if len(samples) == 0 {
 					samples = [][]string{nil}
 				}
-				wq := hw * p.TotalRate / float64(len(ids)*len(samples))
+				wq := hw.w * p.TotalRate / float64(len(ids)*len(samples))
 				for _, ps := range samples {
 					sql := preprocess.Instantiate(t.SQL, ps)
 					stmt, err := sqlparse.Parse(sql)
@@ -375,6 +379,7 @@ func sampleQueries(wl *workload.Workload, at time.Time, n int, rng *rand.Rand) [
 		shapes = append(shapes, sh{s.Gen, r})
 		total += r
 	}
+	//lint:ignore floateq guards division by an exactly zero rate total
 	if total == 0 || len(shapes) == 0 {
 		return nil
 	}

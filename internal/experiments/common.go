@@ -139,10 +139,12 @@ type evalResult struct {
 // squared error in log space.
 func fitAndEval(m forecast.Model, hist *mat.Matrix, trainRows, lag, horizon int) (evalResult, error) {
 	var res evalResult
+	//lint:ignore noclock wall-clock timing of this phase is the experiment's measurement
 	start := time.Now()
 	if err := m.Fit(subMatrix(hist, 0, trainRows)); err != nil {
 		return res, err
 	}
+	//lint:ignore noclock wall-clock timing of this phase is the experiment's measurement
 	res.trainTime = time.Since(start)
 	mse, err := walkEval(m, hist, trainRows, lag, horizon, nil)
 	if err != nil {

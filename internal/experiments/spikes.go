@@ -65,8 +65,9 @@ func admissionsClusterMatrix(opt Options) (hist *mat.Matrix, start time.Time, er
 		// Accumulate member volumes from the pre-aggregated hourly tier
 		// (compacted history + aggregated fine bins).
 		sum := make([]float64, rows)
-		for _, t := range cl.Members {
-			full := t.History.FullHourly()
+		// Sorted member order keeps the per-bin float sums bit-identical.
+		for _, id := range cl.MemberIDs() {
+			full := cl.Members[id].History.FullHourly()
 			for i := 0; i < rows; i++ {
 				sum[i] += full.At(from.Add(time.Duration(i) * time.Hour))
 			}
@@ -219,6 +220,7 @@ func (s *spikeSeries) spikeCapture(model string, deadline time.Time) float64 {
 			peak, peakIdx = v, i
 		}
 	}
+	//lint:ignore floateq guards division by an exactly zero peak
 	if peakIdx < 0 || peak == 0 {
 		return 0
 	}

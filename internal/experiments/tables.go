@@ -120,6 +120,7 @@ func table4(opt Options, w io.Writer) error {
 	if len(samples) > 5000 {
 		samples = samples[:5000]
 	}
+	//lint:ignore noclock wall-clock timing of this phase is the experiment's measurement
 	start := time.Now()
 	pre2 := preprocess.New(preprocess.Options{Seed: opt.seed()})
 	for i, q := range samples {
@@ -127,15 +128,18 @@ func table4(opt Options, w io.Writer) error {
 			return err
 		}
 	}
+	//lint:ignore noclock wall-clock timing of this phase is the experiment's measurement
 	perQuery := time.Since(start) / time.Duration(len(samples))
 	histBytes := pre.HistoryBytes()
 
 	// Clusterer: one daily update over the full catalog.
 	clu := cluster.New(cluster.Options{Rho: 0.8, Seed: opt.seed()})
+	//lint:ignore noclock wall-clock timing of this phase is the experiment's measurement
 	start = time.Now()
 	if _, err := clu.Update(context.Background(), to, pre.Templates()); err != nil {
 		return err
 	}
+	//lint:ignore noclock wall-clock timing of this phase is the experiment's measurement
 	clusterTime := time.Since(start)
 	clusterBytes := pre.Len() * 16 // template→cluster assignment + id
 
@@ -156,10 +160,12 @@ func table4(opt Options, w io.Writer) error {
 		if err != nil {
 			return err
 		}
+		//lint:ignore noclock wall-clock timing of this phase is the experiment's measurement
 		start = time.Now()
 		if err := m.Fit(hist); err != nil {
 			return err
 		}
+		//lint:ignore noclock wall-clock timing of this phase is the experiment's measurement
 		rows = append(rows, row{name, time.Since(start), m.SizeBytes()})
 	}
 

@@ -10,6 +10,7 @@ package kdtree
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 type node struct {
@@ -113,6 +114,9 @@ func (t *Tree) rebuild() {
 	for id := range t.entries {
 		ids = append(ids, id)
 	}
+	// Sort before building: quickSelect ties are broken by input order, so an
+	// unsorted (map-ordered) id slice yields a run-varying tree shape.
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	t.root = t.build(ids, 0)
 	t.dead = 0
 }

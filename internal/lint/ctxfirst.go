@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// CtxFirst enforces the project's context conventions: exported functions
+// that accept a context.Context must take it as the first parameter, and a
+// function that was handed a context must thread it (or a context derived
+// from it) into every goroutine it spawns — otherwise cancellation stops at
+// the spawn site and workers leak past shutdown.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "context.Context first in exported signatures; goroutines must thread the context",
+	Run:  runCtxFirst,
+}
+
+func runCtxFirst(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok {
+				return true
+			}
+			if fd.Name.IsExported() {
+				p.checkCtxPosition(fd)
+			}
+			return true
+		})
+		p.checkGoStmts(file)
+	}
+}
+
+// checkCtxPosition reports an exported function whose context.Context
+// parameter is not first.
+func (p *Pass) checkCtxPosition(fd *ast.FuncDecl) {
+	pos := 0
+	for _, field := range fd.Type.Params.List {
+		width := len(field.Names)
+		if width == 0 {
+			width = 1
+		}
+		if p.isCtxType(field.Type) && pos > 0 {
+			p.Reportf(field.Pos(), "context.Context must be the first parameter of exported %s", fd.Name.Name)
+		}
+		pos += width
+	}
+}
+
+func (p *Pass) isCtxType(e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if t != nil {
+		return t.String() == "context.Context"
+	}
+	// Syntactic fallback for fixtures without full type info.
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" {
+		return false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	return ok && x.Name == "context"
+}
+
+// checkGoStmts walks function bodies tracking the context parameters in
+// scope; a `go` statement inside a context-carrying function whose subtree
+// never mentions a context value is reported.
+func (p *Pass) checkGoStmts(file *ast.File) {
+	var ctxDepth int // number of enclosing funcs that take a ctx
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == n {
+				return true
+			}
+			switch x := m.(type) {
+			case *ast.FuncDecl:
+				p.walkFunc(x.Type, x.Body, &ctxDepth, walk)
+				return false
+			case *ast.FuncLit:
+				p.walkFunc(x.Type, x.Body, &ctxDepth, walk)
+				return false
+			case *ast.GoStmt:
+				if ctxDepth > 0 && !p.mentionsContext(x) {
+					p.Reportf(x.Pos(), "goroutine does not thread the enclosing context.Context; pass ctx (or a derived context) so cancellation reaches it")
+				}
+				// Keep walking inside: nested func lits / go stmts.
+				return true
+			}
+			return true
+		})
+	}
+	walk(file)
+}
+
+func (p *Pass) walkFunc(ft *ast.FuncType, body *ast.BlockStmt, depth *int, walk func(ast.Node)) {
+	if body == nil {
+		return
+	}
+	has := false
+	if ft.Params != nil {
+		for _, field := range ft.Params.List {
+			if p.isCtxType(field.Type) {
+				has = true
+			}
+		}
+	}
+	if has {
+		*depth++
+		defer func() { *depth-- }()
+	}
+	walk(body)
+}
+
+// mentionsContext reports whether any expression inside the go statement has
+// type context.Context (the original parameter or anything derived from it).
+func (p *Pass) mentionsContext(gs *ast.GoStmt) bool {
+	found := false
+	ast.Inspect(gs, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if t := p.Info.TypeOf(e); t != nil && t.String() == "context.Context" {
+			found = true
+			return false
+		}
+		// Fixture fallback: an identifier literally named ctx.
+		if id, ok := e.(*ast.Ident); ok && p.Info.TypeOf(e) == nil && id.Name == "ctx" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// FloatEq flags `==` and `!=` between floating-point expressions outside
+// test files. Exact float comparison is almost always a rounding bug waiting
+// to happen; comparisons belong in an epsilon helper. Two escapes exist:
+// the body of an approved epsilon helper (a function whose name signals a
+// tolerance, e.g. almostEqual / withinEps) is skipped, and sites where exact
+// bit equality is the point (determinism checks, sort tie-breaks on already
+// identical inputs) carry a //lint:ignore floateq directive with a reason.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flag exact ==/!= between floats outside tests and epsilon helpers",
+	Run:  runFloatEq,
+}
+
+// epsilonHelper matches function names that implement a tolerant comparison;
+// their bodies may compare floats exactly (typically against 0 or to
+// short-circuit identical values).
+var epsilonHelper = regexp.MustCompile(`(?i)(approx|almost|within|eps|tolerance|close)`)
+
+func runFloatEq(p *Pass) {
+	for _, file := range p.Files {
+		if p.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if epsilonHelper.MatchString(fd.Name.Name) {
+				continue
+			}
+			p.checkFloatEq(fd.Body)
+		}
+	}
+}
+
+func (p *Pass) checkFloatEq(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		// Nested helpers: a closure assigned to an epsilon-named variable is
+		// rare enough to handle via suppression instead.
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		tx, ty := p.Info.Types[be.X], p.Info.Types[be.Y]
+		if !isFloat(tx.Type) && !isFloat(ty.Type) {
+			return true
+		}
+		// A constant comparison is folded at compile time.
+		if tx.Value != nil && ty.Value != nil {
+			return true
+		}
+		// x != x is the portable NaN test; leave it alone.
+		if types.ExprString(be.X) == types.ExprString(be.Y) {
+			return true
+		}
+		p.Reportf(be.OpPos, "exact floating-point %s comparison; use an epsilon helper, or suppress with a reason where bit-identity is intended", be.Op)
+		return true
+	})
+}

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the quoted regexps of a `// want "..." "..."` comment.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	re  *regexp.Regexp
+	met bool
+}
+
+// loadExpectations harvests `// want` comments from the fixture sources,
+// keyed by file:line.
+func loadExpectations(t *testing.T, pkg *Package) map[string][]*expectation {
+	t.Helper()
+	wants := make(map[string][]*expectation)
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text[idx:], -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", k, m[1], err)
+					}
+					wants[k] = append(wants[k], &expectation{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runGolden loads a fixture directory, runs one analyzer over it, and
+// compares the surviving findings against the fixture's want comments.
+func runGolden(t *testing.T, a *Analyzer, fixture, pkgPath string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	pkg, err := LoadFixture(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture %s has type errors: %v", fixture, terr)
+	}
+	wants := loadExpectations(t, pkg)
+	for _, f := range Run(pkg, []*Analyzer{a}) {
+		k := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+		matched := false
+		for _, w := range wants[k] {
+			if !w.met && w.re.MatchString(f.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.met {
+				t.Errorf("%s: expected finding matching %q, got none", k, w.re)
+			}
+		}
+	}
+}
+
+func TestSeededRandGolden(t *testing.T) { runGolden(t, SeededRand, "seededrand", "fixture/seededrand") }
+func TestNoClockGolden(t *testing.T)    { runGolden(t, NoClock, "noclock", "fixture/noclock") }
+func TestMapOrderGolden(t *testing.T)   { runGolden(t, MapOrder, "maporder", "fixture/maporder") }
+func TestCtxFirstGolden(t *testing.T)   { runGolden(t, CtxFirst, "ctxfirst", "fixture/ctxfirst") }
+func TestFloatEqGolden(t *testing.T)    { runGolden(t, FloatEq, "floateq", "fixture/floateq") }
+
+// TestSuppression checks that valid //lint:ignore directives (leading,
+// trailing, and multi-analyzer) swallow findings, while directives naming a
+// different analyzer do not.
+func TestSuppression(t *testing.T) { runGolden(t, SeededRand, "suppress", "fixture/suppress") }
+
+// TestNoClockStrict loads the fixture under a model-package import path,
+// where noclock suppressions must be rejected.
+func TestNoClockStrict(t *testing.T) {
+	runGolden(t, NoClock, "noclockstrict", "qb5000/internal/core")
+}
+
+// TestDirectiveHygiene exercises the malformed-directive findings directly:
+// a missing reason, a missing analyzer name, and an unknown analyzer must
+// each be reported under the "lint" pseudo-analyzer.
+func TestDirectiveHygiene(t *testing.T) {
+	src := `package p
+
+func a() {
+	//lint:ignore seededrand
+	_ = 1
+}
+
+func b() {
+	//lint:ignore
+	_ = 2
+}
+
+func c() {
+	//lint:ignore bogusname because I said so
+	_ = 3
+}
+
+func d() {
+	//lint:ignore floateq this one is fine
+	_ = 4
+}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "hygiene.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, bad := directives(fset, []*ast.File{file})
+	wantMsgs := []string{
+		"must carry a reason",
+		"names no analyzer",
+		`unknown analyzer "bogusname"`,
+	}
+	if len(bad) != len(wantMsgs) {
+		t.Fatalf("got %d hygiene findings, want %d: %v", len(bad), len(wantMsgs), bad)
+	}
+	for i, f := range bad {
+		if f.Analyzer != "lint" {
+			t.Errorf("finding %d reported under %q, want \"lint\"", i, f.Analyzer)
+		}
+		if !strings.Contains(f.Message, wantMsgs[i]) {
+			t.Errorf("finding %d = %q, want it to mention %q", i, f.Message, wantMsgs[i])
+		}
+	}
+	// The one well-formed directive must have registered a suppression that
+	// covers its own line and the next.
+	ok := Finding{Pos: token.Position{Filename: "hygiene.go", Line: 20}, Analyzer: "floateq"}
+	if !sup.suppresses(ok) {
+		t.Errorf("well-formed directive did not register a suppression")
+	}
+	if sup.suppresses(Finding{Pos: token.Position{Filename: "hygiene.go", Line: 20}, Analyzer: "seededrand"}) {
+		t.Errorf("suppression leaked to an analyzer the directive does not name")
+	}
+}

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SeededRand forbids the global math/rand (and math/rand/v2) top-level
+// functions. Those draw from a process-wide generator whose state depends on
+// everything else that ran before, so two retrainings of the same trace
+// diverge. All randomness must flow through a seeded *rand.Rand derived from
+// Config.Seed; the constructors that build one are allowed.
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc:  "forbid global math/rand functions; use a seeded *rand.Rand from Config.Seed",
+	Run:  runSeededRand,
+}
+
+// seededRandConstructors build a local generator and are the only permitted
+// top-level entry points.
+var seededRandConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true, // takes the *rand.Rand it draws from
+	"NewPCG":     true, // math/rand/v2 seeded sources
+	"NewChaCha8": true,
+}
+
+func runSeededRand(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			// Methods on an explicit *rand.Rand are the sanctioned route.
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			if seededRandConstructors[fn.Name()] {
+				return true
+			}
+			p.Reportf(sel.Pos(), "global %s.%s draws from process-wide state; route randomness through a seeded *rand.Rand derived from Config.Seed", shortPath(path), fn.Name())
+			return true
+		})
+	}
+}
+
+func shortPath(path string) string {
+	if path == "math/rand/v2" {
+		return "rand/v2"
+	}
+	return "rand"
+}

@@ -1,0 +1,38 @@
+package ctxfirst
+
+import "context"
+
+func Good(ctx context.Context, n int) {}
+
+func Bad(n int, ctx context.Context) {} // want "context\.Context must be the first parameter of exported Bad"
+
+func TrailingCtx(a, b string, ctx context.Context, n int) { // want "context\.Context must be the first parameter of exported TrailingCtx"
+}
+
+func unexported(n int, ctx context.Context) {} // convention is only enforced on the exported surface
+
+type Runner struct{}
+
+func (r *Runner) Run(n int, ctx context.Context) {} // want "context\.Context must be the first parameter of exported Run"
+
+func Spawner(ctx context.Context, n int) {
+	go worker(ctx) // threaded: fine
+
+	go func() { // want "goroutine does not thread the enclosing context\.Context"
+		_ = n + 1
+	}()
+
+	derived, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go worker(derived) // a derived context counts as threading
+
+	go func(c context.Context) { // passing ctx as an argument counts
+		<-c.Done()
+	}(ctx)
+}
+
+func worker(ctx context.Context) {}
+
+func noCtxInScope() {
+	go func() {}() // nothing to thread: allowed
+}

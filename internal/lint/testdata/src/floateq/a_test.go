@@ -1,0 +1,7 @@
+package floateq
+
+// Test files may compare floats exactly: determinism tests assert
+// bit-identical results on purpose.
+func exactInTest(a, b float64) bool {
+	return a == b
+}

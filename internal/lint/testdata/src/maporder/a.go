@@ -1,0 +1,120 @@
+package maporder
+
+import "sort"
+
+func appendNoSort(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want "appends to out"
+		out = append(out, v)
+	}
+	return out
+}
+
+func appendThenSort(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortInOuterBlock(m map[int]string, cond bool) []string {
+	var out []string
+	if cond {
+		for _, v := range m {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func viaSortHelper(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(xs []string) { sort.Strings(xs) }
+
+func floatAccum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "accumulates floats into sum"
+		sum += v
+	}
+	return sum
+}
+
+func intAccum(m map[int]int) int {
+	sum := 0
+	for _, v := range m { // integer sums are order-independent
+		sum += v
+	}
+	return sum
+}
+
+func centroid(m map[int][]float64, dim int) []float64 {
+	center := make([]float64, dim)
+	for _, feat := range m { // want "accumulates floats into center"
+		for i, v := range feat {
+			center[i] += v
+		}
+	}
+	return center
+}
+
+func localOnly(m map[int][]float64) float64 {
+	best := -1.0
+	for _, feat := range m {
+		var s float64 // declared inside the loop: does not outlive an iteration
+		for _, v := range feat {
+			s += v
+		}
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+func sliceRange(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs { // slice iteration is ordered
+		sum += v
+	}
+	return sum
+}
+
+func perKeyAccum(m map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, vs := range m { // per-key accumulation is order-independent
+		for _, v := range vs {
+			out[k] += v
+		}
+	}
+	return out
+}
+
+func cloneMap(m map[int][]string) map[int][]string {
+	out := make(map[int][]string, len(m))
+	for k, v := range m { // copying into a fresh slice records no order
+		out[k] = append([]string(nil), v...)
+	}
+	return out
+}
+
+type pool struct{}
+
+func (pool) ForEach(n int, fn func(int)) {}
+
+var parallel pool
+
+func fanout(m map[int]int) {
+	for k := range m { // want "dispatches work through internal/parallel"
+		parallel.ForEach(k, func(int) {})
+	}
+}

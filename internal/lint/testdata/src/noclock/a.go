@@ -1,0 +1,23 @@
+package noclock
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now() // want "time\.Now reads the wall clock"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time\.Since reads the wall clock"
+}
+
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want "time\.Until reads the wall clock"
+}
+
+func injected(at time.Time) time.Time {
+	return at.Add(time.Minute) // deriving from an injected timestamp is the contract
+}
+
+func clockFunc(now func() time.Time) time.Time {
+	return now()
+}

@@ -1,0 +1,10 @@
+package noclockstrict
+
+import "time"
+
+// This fixture is loaded under a strict model-package import path, where
+// noclock suppressions are rejected outright.
+func stamp() time.Time {
+	//lint:ignore noclock suppressions must not work in model packages
+	return time.Now() // want "suppression ignored: wall-clock reads are forbidden in model packages"
+}

@@ -1,0 +1,33 @@
+package seededrand
+
+import "math/rand"
+
+func global() int {
+	return rand.Intn(10) // want "global rand\.Intn draws from process-wide state"
+}
+
+func globalFloat() float64 {
+	return rand.Float64() // want "global rand\.Float64"
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global rand\.Shuffle"
+}
+
+func reseed() {
+	rand.Seed(42) // want "global rand\.Seed"
+}
+
+func asValue() func(int) int {
+	return rand.Intn // want "global rand\.Intn"
+}
+
+func seeded() int {
+	rng := rand.New(rand.NewSource(1)) // constructors build the sanctioned local generator
+	return rng.Intn(10)
+}
+
+func zipf(rng *rand.Rand) uint64 {
+	z := rand.NewZipf(rng, 1.2, 1, 100)
+	return z.Uint64()
+}

@@ -1,0 +1,12 @@
+package seededrand
+
+import randv2 "math/rand/v2"
+
+func globalV2() int {
+	return randv2.IntN(10) // want "global rand/v2\.IntN"
+}
+
+func seededV2() uint64 {
+	src := randv2.NewPCG(1, 2)
+	return src.Uint64()
+}

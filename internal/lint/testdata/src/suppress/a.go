@@ -1,0 +1,26 @@
+package suppress
+
+import "math/rand"
+
+func suppressedAbove() int {
+	//lint:ignore seededrand fixture exercises the leading-directive path
+	return rand.Intn(10)
+}
+
+func suppressedTrailing() int {
+	return rand.Intn(10) //lint:ignore seededrand trailing directives apply to their own line
+}
+
+func suppressedList() int {
+	//lint:ignore seededrand,floateq one directive may cover several analyzers
+	return rand.Intn(10)
+}
+
+func wrongAnalyzer() int {
+	//lint:ignore noclock this names a different analyzer, so seededrand still fires
+	return rand.Intn(10) // want "global rand\.Intn"
+}
+
+func unsuppressed() int {
+	return rand.Intn(10) // want "global rand\.Intn"
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"qb5000/internal/sqlparse"
@@ -45,7 +46,15 @@ func (p *Preprocessor) Snapshot(w io.Writer) error {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	dto := snapshotDTO{Version: snapshotVersion, Opts: p.opts, NextID: p.nextID, Stats: p.stats}
-	for _, t := range p.templates {
+	// Serialize templates in sorted-key order so two snapshots of the same
+	// catalog are byte-identical.
+	keys := make([]string, 0, len(p.templates))
+	for k := range p.templates {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		t := p.templates[k]
 		hb, err := t.History.MarshalBinary()
 		if err != nil {
 			return fmt.Errorf("preprocess: snapshot template %d: %w", t.ID, err)

@@ -1,0 +1,66 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// fuzzSeeds lists the template shapes the paper's traces exercise (§4):
+// IN-lists, quoted strings with escapes, comments, prepared-statement
+// parameters, joins, and the update/delete/insert families. The same seeds
+// back the checked-in corpus under testdata/fuzz/FuzzParse.
+var fuzzSeeds = []string{
+	"SELECT a, b FROM t WHERE x = 1",
+	"SELECT * FROM orders WHERE id IN (1, 2, 3) AND status = 'open'",
+	"SELECT name FROM users WHERE note = 'it''s quoted' OR note = 'x'",
+	"SELECT a FROM t -- trailing comment\nWHERE x = 2",
+	"SELECT a FROM t /* block\ncomment */ WHERE x = 3",
+	"SELECT c FROM t WHERE id = $1 AND ts < $2",
+	"SELECT c FROM t WHERE id = ? AND v BETWEEN ? AND ?",
+	"SELECT o.id, c.name FROM orders o JOIN customers c ON o.cid = c.id WHERE o.total > 100 ORDER BY o.id LIMIT 10",
+	"SELECT COUNT(*) FROM t GROUP BY region HAVING COUNT(*) > 5",
+	"SELECT a FROM t WHERE x IS NOT NULL AND NOT (y = 1 OR z IN ('a', 'b'))",
+	"INSERT INTO t (a, b, c) VALUES (1, 'two', $3)",
+	"UPDATE accounts SET balance = balance - 10 WHERE id = $1",
+	"DELETE FROM sessions WHERE expires < ?",
+	"select   A ,B from T where X=1",
+	"SELECT a FROM t WHERE s LIKE 'pre%'",
+}
+
+// FuzzParse drives the parser with arbitrary byte strings and checks the
+// normalization invariants the Pre-Processor depends on: rendering a parsed
+// statement must be a fixed point of Parse∘SQL, and the semantic key must be
+// stable across that round trip (otherwise identical queries would fold into
+// different templates).
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		stmt, err := Parse(input)
+		if err != nil || stmt == nil {
+			return // rejecting malformed input is fine; crashing is not
+		}
+		canon := stmt.SQL()
+		if !utf8.ValidString(canon) && utf8.ValidString(input) {
+			t.Fatalf("canonical form is not valid UTF-8: %q -> %q", input, canon)
+		}
+		stmt2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form does not reparse: %q -> %q: %v", input, canon, err)
+		}
+		canon2 := stmt2.SQL()
+		if canon2 != canon {
+			t.Fatalf("canonical form is not a fixed point:\n input: %q\n pass1: %q\n pass2: %q", input, canon, canon2)
+		}
+		k1 := ExtractFeatures(stmt).SemanticKey()
+		k2 := ExtractFeatures(stmt2).SemanticKey()
+		if k1 != k2 {
+			t.Fatalf("semantic key unstable across round trip:\n input: %q\n key1: %q\n key2: %q", input, k1, k2)
+		}
+		if strings.TrimSpace(canon) == "" {
+			t.Fatalf("parsed statement rendered empty: %q", input)
+		}
+	})
+}

@@ -12,7 +12,6 @@ package sqlparse
 import (
 	"fmt"
 	"strings"
-	"unicode"
 )
 
 // TokenKind classifies lexical tokens.
@@ -213,10 +212,13 @@ func Lex(input string) ([]Token, error) {
 
 func isDigit(c byte) bool { return c >= '0' && c <= '9' }
 
+// Identifiers are ASCII-only. The lexer walks bytes, so widening a single
+// byte to a rune would misclassify stray non-UTF-8 bytes ≥ 0x80 as Latin-1
+// letters and accept input whose canonical rendering cannot reparse.
 func isIdentStart(c byte) bool {
-	return c == '_' || unicode.IsLetter(rune(c))
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
 }
 
 func isIdentPart(c byte) bool {
-	return c == '_' || c == '$' || unicode.IsLetter(rune(c)) || isDigit(c)
+	return c == '_' || c == '$' || isIdentStart(c) || isDigit(c)
 }
