@@ -154,7 +154,7 @@ func main() {
 	}
 }
 
-func dumpTrace(name string, seed int64, days int, path string) error {
+func dumpTrace(name string, seed int64, days int, path string) (err error) {
 	wl := pick(name, seed)
 	if wl == nil {
 		return fmt.Errorf("unknown workload %q", name)
@@ -163,7 +163,13 @@ func dumpTrace(name string, seed int64, days int, path string) error {
 	if err != nil {
 		return err
 	}
-	defer file.Close()
+	// The file is open for writing: a failed Close can drop buffered trace
+	// entries, so it must surface unless an earlier error already did.
+	defer func() {
+		if cerr := file.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	tw := tracefile.NewWriter(file)
 	to := wl.Start.Add(time.Duration(days) * 24 * time.Hour)
 	if to.After(wl.End) {

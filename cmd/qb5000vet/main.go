@@ -11,20 +11,35 @@
 // on the offending line or the line directly above; the reason is
 // mandatory. Suppressions never apply to noclock findings inside the strict
 // model packages.
+//
+// Output modes and debt management:
+//
+//	-format=text|json|sarif   finding encoding (sarif for CI artifact upload)
+//	-baseline=FILE            fail only on findings not recorded in FILE
+//	-write-baseline=FILE      record current findings as the accepted baseline
+//	-debt                     report //lint:ignore suppressions per analyzer
+//	-list                     list the analyzers and exit
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"qb5000/internal/lint"
 )
 
 func main() {
-	list := flag.Bool("list", false, "list the analyzers and exit")
+	var (
+		list          = flag.Bool("list", false, "list the analyzers and exit")
+		format        = flag.String("format", "text", "output format: text, json, or sarif")
+		baselinePath  = flag.String("baseline", "", "baseline file; only findings not recorded there fail the run")
+		writeBaseline = flag.String("write-baseline", "", "write current findings to this baseline file and exit")
+		debt          = flag.Bool("debt", false, "report //lint:ignore suppression debt per analyzer and exit")
+	)
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: qb5000vet [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: qb5000vet [flags] [packages]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Runs the QB5000 determinism/concurrency analyzers (default ./...).\n\n")
 		flag.PrintDefaults()
 	}
@@ -36,6 +51,10 @@ func main() {
 		}
 		return
 	}
+	if *format != "text" && *format != "json" && *format != "sarif" {
+		fmt.Fprintf(os.Stderr, "qb5000vet: unknown -format %q (want text, json, or sarif)\n", *format)
+		os.Exit(2)
+	}
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -46,22 +65,135 @@ func main() {
 		fmt.Fprintln(os.Stderr, "qb5000vet:", err)
 		os.Exit(2)
 	}
+	root, err := os.Getwd()
+	if err != nil {
+		root = ""
+	}
 
-	total := 0
+	if *debt {
+		reportDebt(pkgs)
+		return
+	}
+
+	var findings []lint.Finding
+	typeErrors := 0
+	// Non-test and in-package-test units share files, so the same finding can
+	// surface twice; dedupe on identity so counts and baselines stay exact.
+	seen := make(map[string]bool)
 	for _, pkg := range pkgs {
 		// A package that no longer type-checks would silently produce no
 		// findings; fail loudly instead.
 		for _, terr := range pkg.TypeErrors {
 			fmt.Fprintf(os.Stderr, "qb5000vet: %s: type error: %v\n", pkg.Path, terr)
-			total++
+			typeErrors++
 		}
 		for _, f := range lint.Run(pkg, lint.All) {
-			fmt.Println(f)
-			total++
+			id := fmt.Sprintf("%s:%d:%d:%s:%s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			findings = append(findings, f)
 		}
 	}
-	if total > 0 {
+
+	if *writeBaseline != "" {
+		out, err := os.Create(*writeBaseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qb5000vet:", err)
+			os.Exit(2)
+		}
+		werr := lint.NewBaseline(root, findings).Write(out)
+		if cerr := out.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "qb5000vet:", werr)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "qb5000vet: wrote %d finding(s) to baseline %s\n", len(findings), *writeBaseline)
+		return
+	}
+
+	if *baselinePath != "" {
+		in, err := os.Open(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qb5000vet:", err)
+			os.Exit(2)
+		}
+		base, err := lint.ReadBaseline(in)
+		in.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qb5000vet:", err)
+			os.Exit(2)
+		}
+		var stale []string
+		findings, stale = base.Filter(root, findings)
+		for _, s := range stale {
+			fmt.Fprintf(os.Stderr, "qb5000vet: baseline entry no longer matches (delete it): %s\n", s)
+		}
+	}
+
+	switch *format {
+	case "json":
+		if err := lint.WriteJSON(os.Stdout, root, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "qb5000vet:", err)
+			os.Exit(2)
+		}
+	case "sarif":
+		if err := lint.WriteSARIF(os.Stdout, root, lint.All, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "qb5000vet:", err)
+			os.Exit(2)
+		}
+	default:
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if total := len(findings) + typeErrors; total > 0 {
 		fmt.Fprintf(os.Stderr, "qb5000vet: %d finding(s)\n", total)
 		os.Exit(1)
+	}
+}
+
+// reportDebt prints the //lint:ignore inventory: a per-analyzer count
+// followed by each suppression's location and reason, so CI logs show how
+// much audited debt the tree carries.
+func reportDebt(pkgs []*lint.Package) {
+	type entry struct {
+		pos    string
+		reason string
+	}
+	perAnalyzer := make(map[string][]entry)
+	seen := make(map[string]bool)
+	for _, pkg := range pkgs {
+		for _, use := range lint.DirectiveUses(pkg.Fset, pkg.Files) {
+			for _, a := range use.Analyzers {
+				id := fmt.Sprintf("%s:%d:%s", use.Pos.Filename, use.Pos.Line, a)
+				if seen[id] {
+					continue
+				}
+				seen[id] = true
+				perAnalyzer[a] = append(perAnalyzer[a], entry{
+					pos:    fmt.Sprintf("%s:%d", use.Pos.Filename, use.Pos.Line),
+					reason: use.Reason,
+				})
+			}
+		}
+	}
+	names := make([]string, 0, len(perAnalyzer))
+	total := 0
+	for name, uses := range perAnalyzer {
+		names = append(names, name)
+		total += len(uses)
+	}
+	sort.Strings(names)
+	fmt.Printf("suppression debt: %d directive reference(s) across %d analyzer(s)\n", total, len(names))
+	for _, name := range names {
+		uses := perAnalyzer[name]
+		fmt.Printf("%s: %d\n", name, len(uses))
+		for _, u := range uses {
+			fmt.Printf("  %s  %s\n", u.pos, u.reason)
+		}
 	}
 }

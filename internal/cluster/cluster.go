@@ -21,6 +21,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"qb5000/internal/kdtree"
@@ -95,16 +96,26 @@ func (c *Cluster) MemberIDs() []int64 {
 	return out
 }
 
-// Clusterer maintains the template → cluster mapping incrementally.
+// Clusterer maintains the template → cluster mapping incrementally. It is
+// safe for concurrent use: Update serializes behind a write lock while the
+// read accessors (Len, Assignment, Cluster, Clusters) take a read lock, and
+// qb5000vet's guardedby analyzer verifies the discipline against the
+// annotations below.
 type Clusterer struct {
-	opts       Options
-	rng        *rand.Rand
-	clusters   map[int64]*Cluster
+	opts Options
+	rng  *rand.Rand
+
+	mu sync.RWMutex
+	// qb5000:guardedby mu
+	clusters map[int64]*Cluster
+	// qb5000:guardedby mu
 	assignment map[int64]int64 // template ID → cluster ID
 	nextID     int64
 
-	// Per-update state.
-	stamps   []time.Time
+	// Per-update state. stamps is only touched by Update's call chain and
+	// read-only in pool workers, so it stays unannotated.
+	stamps []time.Time
+	// qb5000:guardedby mu
 	features map[int64][]float64
 }
 
@@ -152,6 +163,8 @@ type UpdateResult struct {
 // is a cancelled ctx (or a worker panic), in which case the clusterer must
 // be treated as stale and refreshed by a later pass.
 func (c *Clusterer) Update(ctx context.Context, now time.Time, templates []*preprocess.Template) (UpdateResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var res UpdateResult
 
 	live := make(map[int64]*preprocess.Template, len(templates))
@@ -185,10 +198,12 @@ func (c *Clusterer) Update(ctx context.Context, now time.Time, templates []*prep
 	sims := make([]float64, len(templates))
 	err := parallel.ForEach(ctx, c.opts.Parallelism, len(templates), func(_ context.Context, i int) error {
 		t := templates[i]
+		//lint:ignore guardedby read-only access; workers run while Update holds mu for writing
 		cid, ok := c.assignment[t.ID]
 		if !ok {
 			return nil
 		}
+		//lint:ignore guardedby read-only access; workers run while Update holds mu for writing
 		sims[i] = c.similarity(c.features[t.ID], c.clusters[cid].center)
 		return nil
 	})
@@ -251,6 +266,8 @@ func (c *Clusterer) Update(ctx context.Context, now time.Time, templates []*prep
 // dominant cost, O(templates × FeatureSize) — runs on the pool: timestamps
 // are drawn from the RNG once up front, each worker writes only its own
 // template's slot, and the map is assembled sequentially afterwards.
+//
+// qb5000:locked mu
 func (c *Clusterer) computeFeatures(ctx context.Context, now time.Time, templates []*preprocess.Template) error {
 	c.features = make(map[int64][]float64, len(templates))
 	if c.opts.Mode == Logical {
@@ -280,9 +297,12 @@ func (c *Clusterer) computeFeatures(ctx context.Context, now time.Time, template
 
 // recomputeAllCenters refreshes every cluster's center against this round's
 // features. Each worker owns one cluster, so the writes never overlap.
+//
+// qb5000:locked mu
 func (c *Clusterer) recomputeAllCenters(ctx context.Context) error {
 	ids := c.clusterIDs()
 	return parallel.ForEach(ctx, c.opts.Parallelism, len(ids), func(_ context.Context, i int) error {
+		//lint:ignore guardedby each worker owns one cluster slot; Update holds mu for the pool's lifetime
 		c.recomputeCenter(c.clusters[ids[i]])
 		return nil
 	})
@@ -305,6 +325,7 @@ func (c *Clusterer) similarity(a, b []float64) float64 {
 	return mat.CosineSimilarity(a, b)
 }
 
+// qb5000:locked mu
 func (c *Clusterer) newCluster(t *preprocess.Template) *Cluster {
 	c.nextID++
 	cl := &Cluster{
@@ -316,12 +337,14 @@ func (c *Clusterer) newCluster(t *preprocess.Template) *Cluster {
 	return cl
 }
 
+// qb5000:locked mu
 func (c *Clusterer) addMember(cid int64, t *preprocess.Template) {
 	cl := c.clusters[cid]
 	cl.Members[t.ID] = t
 	c.recomputeCenter(cl)
 }
 
+// qb5000:locked mu
 func (c *Clusterer) removeMember(cid, tid int64) {
 	cl, ok := c.clusters[cid]
 	if !ok {
@@ -339,6 +362,8 @@ func (c *Clusterer) removeMember(cid, tid int64) {
 // members' current feature vectors (§5.2 step 1). Members are visited in
 // sorted ID order: float addition is not associative, so summing in map
 // iteration order would make the center's low bits vary run to run.
+//
+// qb5000:locked mu
 func (c *Clusterer) recomputeCenter(cl *Cluster) {
 	ids := cl.MemberIDs()
 	var dim int
@@ -374,6 +399,8 @@ func (c *Clusterer) recomputeCenter(cl *Cluster) {
 }
 
 // buildTree indexes normalized cluster centers for nearest-center lookup.
+//
+// qb5000:locked mu
 func (c *Clusterer) buildTree() *kdtree.Tree {
 	dim := c.featureDim()
 	if dim == 0 {
@@ -386,6 +413,7 @@ func (c *Clusterer) buildTree() *kdtree.Tree {
 	return tree
 }
 
+// qb5000:locked mu
 func (c *Clusterer) featureDim() int {
 	for _, f := range c.features {
 		return len(f)
@@ -402,6 +430,7 @@ func (c *Clusterer) treeInsert(tree *kdtree.Tree, cl *Cluster) {
 	}
 }
 
+// qb5000:locked mu
 func (c *Clusterer) nearestCluster(tree *kdtree.Tree, feat []float64) (int64, bool) {
 	if tree == nil || tree.Len() == 0 || len(feat) != tree.Dim() {
 		return 0, false
@@ -435,6 +464,8 @@ func normalize(v []float64) []float64 {
 // triangle; every worker records the best partner for its own rows, and the
 // sequential reduction over rows reproduces the exact pair the serial
 // double loop would pick (ties broken by ascending ID order).
+//
+// qb5000:locked mu
 func (c *Clusterer) mergeClusters(ctx context.Context) (int, error) {
 	merged := 0
 	for {
@@ -446,8 +477,10 @@ func (c *Clusterer) mergeClusters(ctx context.Context) (int, error) {
 		rows := make([]rowBest, len(ids))
 		err := parallel.ForEach(ctx, c.opts.Parallelism, len(ids), func(_ context.Context, i int) error {
 			best := rowBest{sim: -1}
+			//lint:ignore guardedby read-only access; workers run while Update holds mu for writing
 			a := c.clusters[ids[i]]
 			for j := i + 1; j < len(ids); j++ {
+				//lint:ignore guardedby read-only access; workers run while Update holds mu for writing
 				b := c.clusters[ids[j]]
 				if s := c.similarity(a.center, b.center); s >= c.opts.Rho && s > best.sim {
 					best = rowBest{sim: s, j: ids[j]}
@@ -483,6 +516,7 @@ func (c *Clusterer) mergeClusters(ctx context.Context) (int, error) {
 // Parallelism reports the clusterer's configured worker bound.
 func (c *Clusterer) Parallelism() int { return c.opts.Parallelism }
 
+// qb5000:locked mu
 func (c *Clusterer) clusterIDs() []int64 {
 	ids := make([]int64, 0, len(c.clusters))
 	for id := range c.clusters {
@@ -493,16 +527,24 @@ func (c *Clusterer) clusterIDs() []int64 {
 }
 
 // Len returns the number of live clusters.
-func (c *Clusterer) Len() int { return len(c.clusters) }
+func (c *Clusterer) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.clusters)
+}
 
 // Assignment returns the cluster ID a template currently belongs to.
 func (c *Clusterer) Assignment(templateID int64) (int64, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	cid, ok := c.assignment[templateID]
 	return cid, ok
 }
 
 // Cluster returns the cluster with the given ID.
 func (c *Clusterer) Cluster(id int64) (*Cluster, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	cl, ok := c.clusters[id]
 	return cl, ok
 }
@@ -510,10 +552,12 @@ func (c *Clusterer) Cluster(id int64) (*Cluster, bool) {
 // Clusters returns all clusters sorted by descending volume over the window
 // [now-window, now), then by ID for determinism.
 func (c *Clusterer) Clusters(now time.Time, window time.Duration) []*Cluster {
+	c.mu.RLock()
 	out := make([]*Cluster, 0, len(c.clusters))
 	for _, cl := range c.clusters {
 		out = append(out, cl)
 	}
+	c.mu.RUnlock()
 	vol := make(map[int64]float64, len(out))
 	for _, cl := range out {
 		vol[cl.ID] = c.Volume(cl, now, window)

@@ -264,6 +264,7 @@ func (c *Controller) retrain(ctx context.Context, now time.Time) error {
 			// The spike model trains on the entire hourly history; a young
 			// deployment may not have enough of it yet, in which case the
 			// hybrid silently degrades to plain ENSEMBLE.
+			//lint:ignore errflow FitSpike failing on short history is the designed degradation path
 			_ = hy.FitSpike(spikeHist)
 		}
 		fitted[i] = m

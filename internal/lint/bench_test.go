@@ -1,0 +1,27 @@
+package lint
+
+import (
+	"testing"
+)
+
+// BenchmarkVetTree measures one full analyzer sweep over the module so the
+// cost of the suite (now including the dataflow-based analyzers) stays
+// visible in CI's bench-smoke job. Loading/type-checking happens once
+// outside the timed region; the timed body is the pure analysis cost.
+func BenchmarkVetTree(b *testing.B) {
+	pkgs, err := LoadPackages("../..", "./...")
+	if err != nil {
+		b.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		b.Fatal("no packages loaded")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for _, pkg := range pkgs {
+			total += len(Run(pkg, All))
+		}
+		_ = total
+	}
+}

@@ -1,0 +1,388 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// checkSrc parses and type-checks a single import-free file.
+func checkSrc(t *testing.T, src string) (*token.FileSet, *ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "flow.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Uses:  make(map[*ast.Ident]types.Object),
+		Defs:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Error: func(error) {}}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return fset, file, info
+}
+
+// sinkDefs runs reaching definitions over the named function and, for each
+// call to sink(x) in source order, renders the definitions of the argument
+// as a sorted "L<line>" / "param" list.
+func sinkDefs(t *testing.T, src, fn string) []string {
+	t.Helper()
+	fset, file, info := checkSrc(t, src)
+	var fd *ast.FuncDecl
+	for _, d := range file.Decls {
+		if f, ok := d.(*ast.FuncDecl); ok && f.Name.Name == fn {
+			fd = f
+		}
+	}
+	if fd == nil {
+		t.Fatalf("function %s not found", fn)
+	}
+	r := newReaching(info, fd.Recv, fd.Type, fd.Body)
+
+	// Collect sink(...) calls with their enclosing element statements.
+	type sinkUse struct {
+		element ast.Node
+		arg     *ast.Ident
+	}
+	var uses []sinkUse
+	parents := parentMap(file)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "sink" {
+			return true
+		}
+		arg, ok := call.Args[0].(*ast.Ident)
+		if !ok {
+			t.Fatalf("sink argument must be an identifier")
+		}
+		element := parents[call]
+		for {
+			if _, ok := element.(*ast.ExprStmt); ok {
+				break
+			}
+			element = parents[element]
+		}
+		uses = append(uses, sinkUse{element: element, arg: arg})
+		return true
+	})
+	sort.Slice(uses, func(i, j int) bool { return uses[i].arg.Pos() < uses[j].arg.Pos() })
+
+	var out []string
+	for _, u := range uses {
+		defs := r.defsAt(u.element, info.ObjectOf(u.arg))
+		var labels []string
+		for _, d := range defs {
+			if d.param {
+				labels = append(labels, "param")
+			} else {
+				labels = append(labels, fmt.Sprintf("L%d", fset.Position(d.site.Pos()).Line))
+			}
+		}
+		sort.Slice(labels, func(i, j int) bool {
+			// Numeric line order, with "param" sorting last.
+			li, lj := labels[i], labels[j]
+			if (li == "param") != (lj == "param") {
+				return lj == "param"
+			}
+			if len(li) != len(lj) {
+				return len(li) < len(lj)
+			}
+			return li < lj
+		})
+		out = append(out, strings.Join(labels, ","))
+	}
+	return out
+}
+
+// TestReachingDefs drives the CFG builder and the reaching-definitions
+// solver through every control construct the analyzers rely on. Each sink(x)
+// call expects the line numbers of the definitions of x that may reach it.
+func TestReachingDefs(t *testing.T) {
+	const header = "package p\n\nfunc sink(int) {}\n\n"
+	cases := []struct {
+		name string
+		src  string // line 5 is the first line of src
+		want []string
+	}{
+		{
+			name: "straight line",
+			src: `func f() {
+	x := 1
+	sink(x)
+}`,
+			want: []string{"L6"},
+		},
+		{
+			name: "reassignment kills",
+			src: `func f() {
+	x := 1
+	x = 2
+	sink(x)
+}`,
+			want: []string{"L7"},
+		},
+		{
+			name: "if merge keeps both",
+			src: `func f(c bool) {
+	x := 1
+	if c {
+		x = 2
+	}
+	sink(x)
+}`,
+			want: []string{"L6,L8"},
+		},
+		{
+			name: "if else kills initial",
+			src: `func f(c bool) {
+	x := 1
+	if c {
+		x = 2
+	} else {
+		x = 3
+	}
+	sink(x)
+}`,
+			want: []string{"L8,L10"},
+		},
+		{
+			name: "loop back edge",
+			src: `func f(n int) {
+	x := 1
+	for i := 0; i < n; i++ {
+		sink(x)
+		x = 2
+	}
+	sink(x)
+}`,
+			want: []string{"L6,L9", "L6,L9"},
+		},
+		{
+			name: "range defines per iteration",
+			src: `func f(xs []int) {
+	for _, v := range xs {
+		sink(v)
+	}
+}`,
+			want: []string{"L6"},
+		},
+		{
+			name: "parameter reaches until shadowing assignment",
+			src: `func f(a int, c bool) {
+	sink(a)
+	if c {
+		a = 3
+	}
+	sink(a)
+}`,
+			want: []string{"param", "L8,param"},
+		},
+		{
+			name: "switch fallthrough unions clauses",
+			src: `func f(c, d bool) {
+	x := 1
+	switch {
+	case c:
+		x = 2
+		fallthrough
+	case d:
+		sink(x)
+	}
+}`,
+			want: []string{"L6,L9"},
+		},
+		{
+			name: "goto skips dead assignment",
+			src: `func f() {
+	x := 1
+	goto L
+	x = 2
+L:
+	sink(x)
+}`,
+			want: []string{"L6"},
+		},
+		{
+			name: "continue carries loop def to head",
+			src: `func f(n int) {
+	x := 1
+	for i := 0; i < n; i++ {
+		if i == 0 {
+			x = 2
+			continue
+		}
+		sink(x)
+	}
+}`,
+			want: []string{"L6,L9"},
+		},
+		{
+			name: "closure effects are opaque",
+			src: `func f() {
+	x := 1
+	g := func() {
+		x = 2
+	}
+	g()
+	sink(x)
+}`,
+			want: []string{"L6"},
+		},
+		{
+			name: "break leaves loop def visible after",
+			src: `func f(n int) {
+	x := 1
+	for {
+		x = 2
+		if n > 0 {
+			break
+		}
+	}
+	sink(x)
+}`,
+			want: []string{"L8"},
+		},
+		{
+			name: "select clauses merge",
+			src: `func f(ch chan int, c bool) {
+	x := 1
+	select {
+	case x = <-ch:
+	default:
+		if c {
+			x = 3
+		}
+	}
+	sink(x)
+}`,
+			want: []string{"L6,L8,L11"},
+		},
+		{
+			name: "var decl with initializer",
+			src: `func f(c bool) {
+	var x = 1
+	var y int
+	if c {
+		y = x
+	}
+	sink(y)
+}`,
+			want: []string{"L7,L9"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := sinkDefs(t, header+tc.src, "f")
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %d sink sites %v, want %d %v", len(got), got, len(tc.want), tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Errorf("sink %d: reaching defs = %s, want %s", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestReachingDefsRHS checks that definitions carry their defining
+// expression: the multi-value `f, err := open()` form attributes the shared
+// call, and range definitions attribute the ranged operand.
+func TestReachingDefsRHS(t *testing.T) {
+	src := `package p
+
+func sink(int) {}
+
+func open() (int, error) { return 0, nil }
+
+func f(xs []int) {
+	v, _ := open()
+	sink(v)
+	for _, e := range xs {
+		sink(e)
+	}
+}`
+	fset, file, info := checkSrc(t, src)
+	fd := file.Decls[2].(*ast.FuncDecl)
+	r := newReaching(info, fd.Recv, fd.Type, fd.Body)
+	parents := parentMap(file)
+	var checked int
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "sink" {
+			return true
+		}
+		arg := call.Args[0].(*ast.Ident)
+		element := parents[call].(*ast.ExprStmt)
+		defs := r.defsAt(element, info.ObjectOf(arg))
+		if len(defs) != 1 {
+			t.Fatalf("%s: got %d defs, want 1", arg.Name, len(defs))
+		}
+		rhs := defs[0].rhs
+		if rhs == nil {
+			t.Fatalf("%s: def has no attributed rhs", arg.Name)
+		}
+		switch arg.Name {
+		case "v":
+			if _, ok := rhs.(*ast.CallExpr); !ok {
+				t.Errorf("v: rhs = %T at %v, want the open() call", rhs, fset.Position(rhs.Pos()))
+			}
+		case "e":
+			if rid, ok := rhs.(*ast.Ident); !ok || rid.Name != "xs" {
+				t.Errorf("e: rhs = %T, want the ranged operand xs", rhs)
+			}
+		}
+		checked++
+		return true
+	})
+	if checked != 2 {
+		t.Fatalf("checked %d sinks, want 2", checked)
+	}
+}
+
+// TestCFGTerminations pins structural properties: every function's exit block
+// is reached, and statements after a return are not wired into the flow.
+func TestCFGTerminations(t *testing.T) {
+	src := `package p
+
+func f(c bool) int {
+	if c {
+		return 1
+	}
+	return 2
+}`
+	_, file, _ := checkSrc(t, src)
+	fd := file.Decls[0].(*ast.FuncDecl)
+	g := buildCFG(fd.Body)
+	reached := make(map[*cfgBlock]bool)
+	var walk func(*cfgBlock)
+	walk = func(b *cfgBlock) {
+		if reached[b] {
+			return
+		}
+		reached[b] = true
+		for _, s := range b.succs {
+			walk(s)
+		}
+	}
+	walk(g.blocks[0])
+	if !reached[g.exit] {
+		t.Fatalf("exit block unreachable from entry")
+	}
+}

@@ -1,0 +1,273 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrFlow flags discarded error returns — the dropped-error class that turns
+// a truncated trace file or a half-written snapshot into silently corrupt
+// forecasting state. A call whose last result is `error` must have that
+// result consumed; the analyzer reports:
+//
+//   - expression statements that discard an error-returning call;
+//   - discarded `x.Close()` (deferred or not) where reaching definitions
+//     prove x may have been opened writable (os.Create / os.OpenFile);
+//     handles provably from os.Open are exempt because Close on a read
+//     handle cannot lose data;
+//   - `go f()` discarding f's error on a goroutine boundary;
+//   - assignments that blank every error result (`_ = f()`).
+//
+// Print-family calls are exempt: fmt.Print/Println/Printf always, and
+// fmt.Fprint* unless the destination's static type is *os.File or
+// *bufio.Writer (writes into in-memory buffers cannot fail; writes to
+// files and buffered file writers can). Diagnostic writes to os.Stderr /
+// os.Stdout and methods on in-memory sinks (bytes.Buffer, strings.Builder)
+// are likewise exempt — their errors are documented as always nil or have
+// no recovery path.
+var ErrFlow = &Analyzer{
+	Name: "errflow",
+	Doc:  "error-returning calls must not be silently discarded",
+	Run:  runErrFlow,
+}
+
+func runErrFlow(p *Pass) {
+	for _, file := range p.Files {
+		if p.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			p.checkErrFlowFunc(fd.Recv, fd.Type, fd.Body)
+			inspectFuncLits(fd.Body, func(lit *ast.FuncLit) {
+				p.checkErrFlowFunc(nil, lit.Type, lit.Body)
+			})
+		}
+	}
+}
+
+// checkErrFlowFunc walks one function body. Reaching definitions over the
+// body resolve whether a deferred Close receiver was opened writable.
+func (p *Pass) checkErrFlowFunc(recv *ast.FieldList, ft *ast.FuncType, body *ast.BlockStmt) {
+	var reach *reaching // built lazily: only defer Close needs provenance
+	getReach := func() *reaching {
+		if reach == nil {
+			reach = newReaching(p.Info, recv, ft, body)
+		}
+		return reach
+	}
+	inspectShallow(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				p.checkDiscardedCall(call, getReach, st)
+			}
+		case *ast.DeferStmt:
+			p.checkDiscardedCall(st.Call, getReach, st)
+		case *ast.GoStmt:
+			if _, isLit := st.Call.Fun.(*ast.FuncLit); !isLit {
+				p.checkDiscardedCall(st.Call, nil, st)
+			}
+		case *ast.AssignStmt:
+			p.checkBlankAssign(st)
+		}
+		return true
+	})
+}
+
+// checkDiscardedCall reports call if it returns an error that the enclosing
+// statement throws away. getReach is non-nil only in defer position, where
+// Close provenance decides between the read-only exemption and a report.
+func (p *Pass) checkDiscardedCall(call *ast.CallExpr, getReach func() *reaching, element ast.Node) {
+	if !p.returnsError(call) || p.errExempt(call) {
+		return
+	}
+	if getReach != nil && p.isReadOnlyClose(call, getReach(), element) {
+		return
+	}
+	verb := "call"
+	if _, isDefer := element.(*ast.DeferStmt); isDefer {
+		verb = "deferred call"
+	} else if _, isGo := element.(*ast.GoStmt); isGo {
+		verb = "goroutine call"
+	}
+	p.Reportf(call.Pos(), "%s to %s discards its error; check it, or blank it with an explanatory //lint:ignore errflow", verb, callName(call))
+}
+
+// checkBlankAssign reports assignments whose left side blanks every
+// error-typed result of an error-returning call (e.g. `_ = f()` or
+// `v, _ := open()` where only the error is blanked is fine — at least one
+// named result shows intent; all-blank is not).
+func (p *Pass) checkBlankAssign(st *ast.AssignStmt) {
+	if len(st.Rhs) != 1 {
+		return
+	}
+	call, ok := st.Rhs[0].(*ast.CallExpr)
+	if !ok || !p.returnsError(call) || p.errExempt(call) {
+		return
+	}
+	for _, lhs := range st.Lhs {
+		if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+			return
+		}
+	}
+	p.Reportf(st.Pos(), "assignment blanks the error from %s; handle it, or suppress with a reasoned //lint:ignore errflow", callName(call))
+}
+
+// returnsError reports whether call's last result is the builtin error type.
+func (p *Pass) returnsError(call *ast.CallExpr) bool {
+	t := p.Info.TypeOf(call)
+	if t == nil {
+		// Fixture fallback: well-known error-returning method names keep
+		// golden tests meaningful even without full type info.
+		return false
+	}
+	switch rt := t.(type) {
+	case *types.Tuple:
+		if rt.Len() == 0 {
+			return false
+		}
+		return isErrorType(rt.At(rt.Len() - 1).Type())
+	default:
+		return isErrorType(rt)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return t.String() == "error"
+}
+
+// errExempt applies the audited exemption list: calls whose error is
+// documented never to matter for data integrity.
+func (p *Pass) errExempt(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Package-level fmt printers.
+	if pkgID, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := p.Info.Uses[pkgID].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+			name := sel.Sel.Name
+			if name == "Print" || name == "Println" || name == "Printf" {
+				return true
+			}
+			if strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 {
+				if p.isStdStream(call.Args[0]) {
+					return true
+				}
+				return !p.isFailableWriter(p.Info.TypeOf(call.Args[0]))
+			}
+		}
+	}
+	// Methods on in-memory sinks whose errors are always nil.
+	if rt := p.Info.TypeOf(sel.X); rt != nil {
+		if ptr, ok := rt.(*types.Pointer); ok {
+			rt = ptr.Elem()
+		}
+		s := rt.String()
+		if s == "bytes.Buffer" || s == "strings.Builder" {
+			return true
+		}
+	}
+	return false
+}
+
+// isStdStream reports whether e is the os.Stderr or os.Stdout variable.
+// Diagnostic writes there are exempt: a failing stderr has no recovery
+// path, and flagging every progress line would drown the real findings.
+func (p *Pass) isStdStream(e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Stderr" && sel.Sel.Name != "Stdout") {
+		return false
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if pn, ok := p.Info.Uses[pkgID].(*types.PkgName); ok {
+		return pn.Imported().Path() == "os"
+	}
+	return false
+}
+
+// isFailableWriter reports whether writes to t can actually fail: a real
+// file or a buffered writer in front of one. Everything else (in-memory
+// buffers, test writers behind io.Writer) is treated as infallible so the
+// experiment harness's Fprintf fan-out stays quiet.
+func (p *Pass) isFailableWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s := t.String()
+	return s == "*os.File" || s == "*bufio.Writer"
+}
+
+// isReadOnlyClose reports whether call is x.Close() where every definition
+// of x reaching the defer is an os.Open call — a read-only handle whose
+// Close cannot lose buffered writes.
+func (p *Pass) isReadOnlyClose(call *ast.CallExpr, reach *reaching, element ast.Node) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Close" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := p.Info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	defs := reach.defsAt(element, obj)
+	if len(defs) == 0 {
+		return false
+	}
+	for _, d := range defs {
+		if d.param || d.rhs == nil || !p.isOsOpenCall(d.rhs) {
+			return false
+		}
+	}
+	return true
+}
+
+// isOsOpenCall reports whether e is a direct os.Open(...) call.
+func (p *Pass) isOsOpenCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Open" {
+		return false
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if pn, ok := p.Info.Uses[pkgID].(*types.PkgName); ok {
+		return pn.Imported().Path() == "os"
+	}
+	return pkgID.Name == "os" // fixture fallback without import resolution
+}
+
+// callName renders a compact name for diagnostics: pkg.Func, recv.Method,
+// or the bare function name.
+func callName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if base := baseIdent(f.X); base != nil {
+			return base.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	}
+	return "function"
+}

@@ -47,7 +47,7 @@ type Analyzer struct {
 }
 
 // All is the full qb5000vet suite.
-var All = []*Analyzer{SeededRand, NoClock, MapOrder, CtxFirst, FloatEq}
+var All = []*Analyzer{SeededRand, NoClock, MapOrder, CtxFirst, FloatEq, GuardedBy, SliceShare, ErrFlow}
 
 // A Pass carries one type-checked package through the analyzers.
 type Pass struct {
@@ -191,7 +191,7 @@ func directives(fset *token.FileSet, files []*ast.File) (suppressions, []Finding
 				pos := fset.Position(c.Pos())
 				for _, name := range strings.Split(names, ",") {
 					if !knownAnalyzers[name] {
-						report(c.Pos(), "lint:ignore names unknown analyzer %q (known: seededrand, noclock, maporder, ctxfirst, floateq)", name)
+						report(c.Pos(), "lint:ignore names unknown analyzer %q (known: seededrand, noclock, maporder, ctxfirst, floateq, guardedby, sliceshare, errflow)", name)
 						continue
 					}
 					sup.add(name, pos.Filename, pos.Line)

@@ -88,6 +88,10 @@ func TestMapOrderGolden(t *testing.T)   { runGolden(t, MapOrder, "maporder", "fi
 func TestCtxFirstGolden(t *testing.T)   { runGolden(t, CtxFirst, "ctxfirst", "fixture/ctxfirst") }
 func TestFloatEqGolden(t *testing.T)    { runGolden(t, FloatEq, "floateq", "fixture/floateq") }
 
+func TestGuardedByGolden(t *testing.T)  { runGolden(t, GuardedBy, "guardedby", "fixture/guardedby") }
+func TestSliceShareGolden(t *testing.T) { runGolden(t, SliceShare, "sliceshare", "fixture/sliceshare") }
+func TestErrFlowGolden(t *testing.T)    { runGolden(t, ErrFlow, "errflow", "fixture/errflow") }
+
 // TestSuppression checks that valid //lint:ignore directives (leading,
 // trailing, and multi-analyzer) swallow findings, while directives naming a
 // different analyzer do not.

@@ -1,0 +1,111 @@
+package errflow
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func doWork() error { return nil }
+
+func open2() (int, error) { return 0, nil }
+
+func discarded() {
+	doWork() // want "call to doWork discards its error"
+}
+
+func handled() error {
+	if err := doWork(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func blanked() {
+	_ = doWork() // want "blanks the error from doWork"
+}
+
+func partialBlank() int {
+	v, _ := open2() // keeping the value shows intent: no report
+	return v
+}
+
+func deferCreate(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()     // want "deferred call to f.Close discards its error"
+	fmt.Fprintf(f, "x") // want "call to fmt.Fprintf discards its error"
+	return nil
+}
+
+func deferOpen(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // read-only handle: Close cannot lose buffered writes
+	return nil
+}
+
+func mixedProvenance(path string, w bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	if w {
+		f, err = os.Create(path)
+		if err != nil {
+			return err
+		}
+	}
+	defer f.Close() // want "deferred call to f.Close discards its error"
+	return nil
+}
+
+func printers(buf *bytes.Buffer) {
+	fmt.Println("stdout printers are exempt")
+	fmt.Fprintf(buf, "in-memory writers are exempt")
+	buf.WriteString("buffer methods are exempt")
+}
+
+func explicitCloseRead(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	f.Close() // read-only handle: no report even without defer
+	return nil
+}
+
+func explicitCloseWrite(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	f.Close() // want "call to f.Close discards its error"
+	return nil
+}
+
+func stderrDiag() {
+	fmt.Fprintln(os.Stderr, "diagnostics to std streams are exempt")
+}
+
+func valueBuilder() string {
+	var sb strings.Builder
+	sb.WriteString("value-typed builders are exempt too")
+	return sb.String()
+}
+
+func goroutine() {
+	go doWork() // want "goroutine call to doWork discards its error"
+}
+
+func closureChecked() {
+	f := func() {
+		doWork() // want "call to doWork discards its error"
+	}
+	f()
+}

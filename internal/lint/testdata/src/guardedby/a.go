@@ -1,0 +1,113 @@
+package guardedby
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu sync.Mutex
+	// qb5000:guardedby mu
+	n int
+}
+
+func (c *counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) DeferStyle() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) Bad() int {
+	return c.n // want "access to c.n .* without holding c.mu"
+}
+
+func (c *counter) OneArm(cond bool) {
+	if cond {
+		c.mu.Lock()
+	}
+	c.n++ // want "without holding c.mu on every path"
+	if cond {
+		c.mu.Unlock()
+	}
+}
+
+func (c *counter) AfterUnlock() int {
+	c.mu.Lock()
+	c.n = 0
+	c.mu.Unlock()
+	return c.n // want "without holding c.mu"
+}
+
+// qb5000:locked mu
+func (c *counter) bump() {
+	c.n++
+}
+
+func (c *counter) CallsLockedGood() {
+	c.mu.Lock()
+	c.bump()
+	c.mu.Unlock()
+}
+
+func (c *counter) CallsLockedBad() {
+	c.bump() // want "requires c.mu held"
+}
+
+func (c *counter) ClosureLosesLock() {
+	c.mu.Lock()
+	f := func() {
+		c.n++ // want "without holding c.mu"
+	}
+	f()
+	c.mu.Unlock()
+}
+
+type table struct {
+	mu sync.RWMutex
+	// qb5000:guardedby mu
+	rows map[string]int
+}
+
+func (t *table) Get(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows[k]
+}
+
+func (t *table) Snapshot() map[string]int {
+	return t.rows // want "without holding t.mu"
+}
+
+type stats struct {
+	// qb5000:guardedby atomic
+	hits atomic.Int64
+}
+
+func (s *stats) Hit()        { s.hits.Add(1) }
+func (s *stats) Read() int64 { return s.hits.Load() }
+
+func (s *stats) Leak() *atomic.Int64 {
+	return &s.hits // want "guardedby atomic"
+}
+
+type badGuard struct {
+	// qb5000:guardedby missing
+	x int // want "not a sync.Mutex/RWMutex field"
+}
+
+type wrongType struct {
+	lock int
+	// qb5000:guardedby lock
+	y int // want "not a sync.Mutex/RWMutex field"
+}
+
+// qb5000:locked mu
+func orphan() {} // want "without a receiver"
+
+func use(b *badGuard, w *wrongType) int { return b.x + w.y + w.lock }

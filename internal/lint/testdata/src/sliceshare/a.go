@@ -1,0 +1,120 @@
+package sliceshare
+
+import "sync"
+
+// pool mirrors internal/parallel's surface so the fixture stays import-free;
+// the analyzer matches the receiver name "parallel" syntactically, exactly as
+// the maporder fixture does.
+type pool struct{}
+
+func (pool) ForEach(n int, fn func(i int) error) error { return nil }
+func (pool) Map(n int, fn func(i int) error) error     { return nil }
+
+var parallel pool
+
+func disjointSlots(in []int) []int {
+	out := make([]int, len(in))
+	parallel.ForEach(len(in), func(i int) error {
+		out[i] = in[i] * 2
+		return nil
+	})
+	return out
+}
+
+func derivedIndex(in []int) []int {
+	out := make([]int, 2*len(in))
+	parallel.Map(len(in), func(i int) error {
+		j := i * 2
+		out[j] = in[i]
+		out[j+1] = in[i]
+		return nil
+	})
+	return out
+}
+
+func collidingIndex(in []int, k int) []int {
+	out := make([]int, len(in))
+	parallel.ForEach(len(in), func(i int) error {
+		out[k] = in[i] // want "not derived from the worker index"
+		return nil
+	})
+	return out
+}
+
+func appendRace(in []int) []int {
+	var out []int
+	parallel.ForEach(len(in), func(i int) error {
+		out = append(out, in[i]) // want "reassigned inside a parallel worker"
+		return nil
+	})
+	return out
+}
+
+func mapWrite(in []int) map[int]int {
+	m := make(map[int]int)
+	parallel.ForEach(len(in), func(i int) error {
+		m[i] = in[i] // want "map m is written inside a parallel worker"
+		return nil
+	})
+	return m
+}
+
+func lockedWrite(in []int, k int) []int {
+	out := make([]int, len(in))
+	var mu sync.Mutex
+	parallel.ForEach(len(in), func(i int) error {
+		mu.Lock()
+		out[k] = in[i] // serialized under mu: no report
+		mu.Unlock()
+		return nil
+	})
+	return out
+}
+
+func localScratch(in []int) {
+	parallel.ForEach(len(in), func(i int) error {
+		tmp := make([]int, 4)
+		tmp[0] = in[i] // worker-local: no report
+		_ = tmp
+		return nil
+	})
+}
+
+func readOnlyCapture(in, out []int) int {
+	total := 0
+	parallel.ForEach(len(in), func(i int) error {
+		_ = in[i] // reads are always fine
+		return nil
+	})
+	return total
+}
+
+func deleteRace(m map[int]int, keys []int) {
+	parallel.ForEach(len(keys), func(i int) error {
+		delete(m, keys[i]) // want "delete on captured map"
+		return nil
+	})
+}
+
+func copyRace(dst, src []int) {
+	parallel.ForEach(1, func(i int) error {
+		copy(dst, src) // want "copy into captured slice dst"
+		return nil
+	})
+}
+
+func incCollide(out []int, k int) {
+	parallel.ForEach(len(out), func(i int) error {
+		out[k]++ // want "not derived from the worker index"
+		return nil
+	})
+}
+
+func loopIndexNotDisjoint(out []int) {
+	parallel.ForEach(len(out), func(i int) error {
+		for j := 0; j < 3; j++ {
+			out[j] = i // want "not derived from the worker index"
+		}
+		return nil
+	})
+}

@@ -62,6 +62,7 @@ func (n *LSTMNet) TrainBatchParallel(seqs [][][]float64, targets [][]float64) fl
 	}
 	// Gradient accumulation never fails, so the pool error is impossible
 	// here (no context, no worker errors) — ignore it.
+	//lint:ignore errflow background context cannot cancel and workers always return nil
 	_ = parallel.ForEach(context.Background(), trainWorkers, len(results), func(_ context.Context, i int) error {
 		from := i * chunkSize
 		to := from + results[i].size

@@ -74,39 +74,63 @@ func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i
 
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	var (
-		next     atomic.Int64 // next index to claim
-		firstErr atomic.Pointer[error]
-		wg       sync.WaitGroup
-	)
-	fail := func(err error) {
-		e := err
-		if firstErr.CompareAndSwap(nil, &e) {
-			cancel()
-		}
-	}
-	wg.Add(w)
+	p := &pool{cancel: cancel}
+	p.wg.Add(w)
 	for g := 0; g < w; g++ {
 		go func() {
-			defer wg.Done()
+			defer p.wg.Done()
 			for {
-				i := int(next.Add(1) - 1)
+				i := p.claim()
 				if i >= n || wctx.Err() != nil {
 					return
 				}
 				if err := protect(wctx, i, fn); err != nil {
-					fail(err)
+					p.fail(err)
 					return
 				}
 			}
 		}()
 	}
-	wg.Wait()
-	if p := firstErr.Load(); p != nil {
-		return *p
+	p.wg.Wait()
+	if err := p.err(); err != nil {
+		return err
 	}
 	// The pool may have stopped early because the parent was cancelled.
 	return ctx.Err()
+}
+
+// pool is the shared dispatch state of one concurrent ForEach run. The
+// annotated fields are shared by every worker goroutine and may only be
+// touched through their atomic method calls; qb5000vet's guardedby analyzer
+// (guard "atomic") rejects copies, address escapes, and direct state access.
+type pool struct {
+	// qb5000:guardedby atomic
+	next atomic.Int64 // next index to claim
+	// qb5000:guardedby atomic
+	firstErr atomic.Pointer[error] // first worker failure, wins the race once
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// claim hands out the next unstarted index.
+func (p *pool) claim() int { return int(p.next.Add(1) - 1) }
+
+// fail records err if it is the first failure and cancels the pool context
+// so the remaining workers stop claiming indices.
+func (p *pool) fail(err error) {
+	e := err
+	if p.firstErr.CompareAndSwap(nil, &e) {
+		p.cancel()
+	}
+}
+
+// err returns the first recorded worker failure, if any.
+func (p *pool) err() error {
+	if e := p.firstErr.Load(); e != nil {
+		return *e
+	}
+	return nil
 }
 
 // protect invokes fn(ctx, i), converting a panic into a *PanicError.

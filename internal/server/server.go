@@ -40,6 +40,7 @@ type Server struct {
 
 	mu sync.Mutex
 	// lastSeen tracks the newest observation for Maintain's clock.
+	// qb5000:guardedby mu
 	lastSeen time.Time
 }
 

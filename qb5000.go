@@ -75,7 +75,8 @@ type Config struct {
 // observations and maintenance serialize behind a write lock, while
 // Forecast, Stats, and Templates run concurrently under a read lock.
 type Forecaster struct {
-	mu  sync.RWMutex
+	mu sync.RWMutex
+	// qb5000:guardedby mu
 	ctl *core.Controller
 }
 
@@ -302,4 +303,7 @@ func Load(cfg Config, r io.Reader) (*Forecaster, error) {
 // (experiment harnesses, the index-advisor example). Most callers should not
 // need it. The controller is NOT synchronized: accessing it concurrently
 // with other Forecaster methods bypasses the Forecaster's lock.
-func (f *Forecaster) Controller() *core.Controller { return f.ctl }
+func (f *Forecaster) Controller() *core.Controller {
+	//lint:ignore guardedby documented unsynchronized escape hatch for single-threaded harnesses
+	return f.ctl
+}
