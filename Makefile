@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short cover bench race lint ci experiments experiments-quick vet fmt clean fuzz-smoke
+.PHONY: all build test test-short cover bench race lint ci experiments experiments-quick vet vet-graph fmt clean fuzz-smoke
 
 all: build test
 
@@ -28,7 +28,7 @@ race:
 lint:
 	test -z "$$(gofmt -l .)" || { gofmt -l .; exit 1; }
 	$(GO) vet ./...
-	$(GO) run ./cmd/qb5000vet ./...
+	$(GO) run ./cmd/qb5000vet -baseline .qb5000vet-baseline.json ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
@@ -54,6 +54,16 @@ experiments-quick:
 
 vet:
 	$(GO) vet ./...
+
+# Dump the interprocedural call graph qb5000vet analyzes; renders to SVG
+# when graphviz is installed.
+vet-graph:
+	$(GO) run ./cmd/qb5000vet -graph ./... > callgraph.dot
+	@if command -v dot >/dev/null 2>&1; then \
+		dot -Tsvg callgraph.dot -o callgraph.svg && echo "wrote callgraph.svg"; \
+	else \
+		echo "wrote callgraph.dot (install graphviz to render)"; \
+	fi
 
 fmt:
 	gofmt -w .

@@ -75,7 +75,19 @@ func main() {
 	}
 
 	srv := server.New(f)
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler(), BaseContext: func(net.Listener) context.Context { return ctx }}
+	httpSrv := &http.Server{
+		Addr:        *addr,
+		Handler:     srv.Handler(),
+		BaseContext: func(net.Listener) context.Context { return ctx },
+		// Without read/write bounds every slow client parks a handler
+		// goroutine for the life of the process (qb5000vet:goleak). /observe
+		// streams whole trace files and /maintain retrains in-request, so
+		// the body limits are generous but finite.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       5 * time.Minute,
+		WriteTimeout:      10 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	if *maintain > 0 {
 		go func() {

@@ -15,9 +15,11 @@
 // Output modes and debt management:
 //
 //	-format=text|json|sarif   finding encoding (sarif for CI artifact upload)
-//	-baseline=FILE            fail only on findings not recorded in FILE
+//	-baseline=FILE            fail on findings not recorded in FILE and on
+//	                          stale entries FILE records that no longer occur
 //	-write-baseline=FILE      record current findings as the accepted baseline
 //	-debt                     report //lint:ignore suppressions per analyzer
+//	-graph                    emit the interprocedural call graph as DOT
 //	-list                     list the analyzers and exit
 package main
 
@@ -37,6 +39,7 @@ func main() {
 		baselinePath  = flag.String("baseline", "", "baseline file; only findings not recorded there fail the run")
 		writeBaseline = flag.String("write-baseline", "", "write current findings to this baseline file and exit")
 		debt          = flag.Bool("debt", false, "report //lint:ignore suppression debt per analyzer and exit")
+		graph         = flag.Bool("graph", false, "emit the interprocedural call graph as DOT and exit")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: qb5000vet [flags] [packages]\n\n")
@@ -75,6 +78,19 @@ func main() {
 		return
 	}
 
+	// One Program across the whole set: the call graph and summaries see
+	// every loaded unit, so cross-package spawns and handle transfers
+	// resolve instead of degrading to the local view.
+	prog := lint.NewProgram(pkgs)
+
+	if *graph {
+		if err := lint.WriteDOT(os.Stdout, prog.Graph); err != nil {
+			fmt.Fprintln(os.Stderr, "qb5000vet:", err)
+			os.Exit(2)
+		}
+		return
+	}
+
 	var findings []lint.Finding
 	typeErrors := 0
 	// Non-test and in-package-test units share files, so the same finding can
@@ -87,7 +103,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "qb5000vet: %s: type error: %v\n", pkg.Path, terr)
 			typeErrors++
 		}
-		for _, f := range lint.Run(pkg, lint.All) {
+		for _, f := range prog.Run(pkg, lint.All) {
 			id := fmt.Sprintf("%s:%d:%d:%s:%s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
 			if seen[id] {
 				continue
@@ -115,6 +131,7 @@ func main() {
 		return
 	}
 
+	staleEntries := 0
 	if *baselinePath != "" {
 		in, err := os.Open(*baselinePath)
 		if err != nil {
@@ -129,9 +146,13 @@ func main() {
 		}
 		var stale []string
 		findings, stale = base.Filter(root, findings)
+		// The baseline is a ratchet, not a ledger: an entry whose finding
+		// was fixed must be deleted, or debt silently re-accumulates under
+		// it. Stale entries therefore fail the run.
 		for _, s := range stale {
-			fmt.Fprintf(os.Stderr, "qb5000vet: baseline entry no longer matches (delete it): %s\n", s)
+			fmt.Fprintf(os.Stderr, "qb5000vet: stale baseline entry (the finding is gone — delete it): %s\n", s)
 		}
+		staleEntries = len(stale)
 	}
 
 	switch *format {
@@ -150,7 +171,7 @@ func main() {
 			fmt.Println(f)
 		}
 	}
-	if total := len(findings) + typeErrors; total > 0 {
+	if total := len(findings) + typeErrors + staleEntries; total > 0 {
 		fmt.Fprintf(os.Stderr, "qb5000vet: %d finding(s)\n", total)
 		os.Exit(1)
 	}

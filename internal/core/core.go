@@ -7,6 +7,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -263,9 +264,11 @@ func (c *Controller) retrain(ctx context.Context, now time.Time) error {
 		if hy, ok := m.(*forecast.Hybrid); ok {
 			// The spike model trains on the entire hourly history; a young
 			// deployment may not have enough of it yet, in which case the
-			// hybrid silently degrades to plain ENSEMBLE.
-			//lint:ignore errflow FitSpike failing on short history is the designed degradation path
-			_ = hy.FitSpike(spikeHist)
+			// hybrid degrades to plain ENSEMBLE. Any other failure is real
+			// and must surface.
+			if err := hy.FitSpike(spikeHist); err != nil && !errors.Is(err, forecast.ErrInsufficientData) {
+				return fmt.Errorf("core: fit %s spike model horizon %v: %w", c.cfg.Model, h, err)
+			}
 		}
 		fitted[i] = m
 		return nil

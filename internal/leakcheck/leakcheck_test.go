@@ -1,0 +1,66 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+// recorder is a fake testingT that captures failures instead of failing.
+type recorder struct {
+	failures []string
+}
+
+func (r *recorder) Helper() {}
+
+func (r *recorder) Errorf(format string, args ...any) {
+	r.failures = append(r.failures, format)
+}
+
+func TestCheckPassesOnCleanCode(t *testing.T) {
+	Check(t, func() {
+		done := make(chan struct{})
+		go func() { close(done) }()
+		<-done
+	})
+}
+
+func TestCheckWaitsForSlowWinddown(t *testing.T) {
+	// A goroutine that exits only after Check starts settling must not be
+	// reported: the retry window has to absorb the wind-down.
+	release := make(chan struct{})
+	exited := make(chan struct{})
+	Check(t, func() {
+		go func() {
+			<-release
+			close(exited)
+		}()
+		close(release)
+	})
+	<-exited
+}
+
+func TestCheckReportsALeak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("leak detection waits out the full settle window")
+	}
+	rec := &recorder{}
+	stuck := make(chan struct{})
+	defer close(stuck)
+	Check(rec, func() {
+		go func() { <-stuck }()
+	})
+	if len(rec.failures) != 1 {
+		t.Fatalf("got %d failures, want 1", len(rec.failures))
+	}
+	if !strings.Contains(rec.failures[0], "leakcheck") {
+		t.Fatalf("failure message %q does not identify leakcheck", rec.failures[0])
+	}
+}
+
+func TestSnapshotDone(t *testing.T) {
+	snap := Take(t)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	snap.Done()
+}

@@ -5,9 +5,11 @@ import (
 )
 
 // BenchmarkVetTree measures one full analyzer sweep over the module so the
-// cost of the suite (now including the dataflow-based analyzers) stays
+// cost of the suite (now including the interprocedural analyzers) stays
 // visible in CI's bench-smoke job. Loading/type-checking happens once
-// outside the timed region; the timed body is the pure analysis cost.
+// outside the timed region; the timed body is the graph + summary build
+// plus the pure analysis cost — exactly what one qb5000vet run pays after
+// type checking.
 func BenchmarkVetTree(b *testing.B) {
 	pkgs, err := LoadPackages("../..", "./...")
 	if err != nil {
@@ -18,10 +20,32 @@ func BenchmarkVetTree(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		prog := NewProgram(pkgs)
 		total := 0
 		for _, pkg := range pkgs {
-			total += len(Run(pkg, All))
+			total += len(prog.Run(pkg, All))
 		}
 		_ = total
+	}
+}
+
+// BenchmarkCallGraph isolates the interprocedural layer: building the
+// package-set call graph and computing the bottom-up function summaries,
+// without running any analyzer. The delta between this and BenchmarkVetTree
+// is the per-analyzer walking cost.
+func BenchmarkCallGraph(b *testing.B) {
+	pkgs, err := LoadPackages("../..", "./...")
+	if err != nil {
+		b.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		b.Fatal("no packages loaded")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prog := NewProgram(pkgs)
+		if len(prog.Graph.Nodes) == 0 {
+			b.Fatal("empty call graph")
+		}
 	}
 }

@@ -379,14 +379,20 @@ func inspectShallow(n ast.Node, f func(ast.Node) bool) {
 // element of every reachable block. entry seeds the entry block; transfer
 // must be pure (it is re-applied during the replay); join merges facts where
 // edges meet; equal bounds the iteration.
+//
+// It returns the fact flowing into the synthetic exit block and whether the
+// exit is reachable at all (an infinite loop leaves it unreached, in which
+// case the zero fact comes back). Callers that only need the per-element
+// replay ignore the return values.
 func forwardFlow[F any](g *funcCFG, entry F,
 	transfer func(F, ast.Node) F,
 	join func(F, F) F,
 	equal func(F, F) bool,
 	visit func(ast.Node, F),
-) {
+) (F, bool) {
+	var zero F
 	if len(g.blocks) == 0 {
-		return
+		return zero, false
 	}
 	in := make(map[*cfgBlock]F, len(g.blocks))
 	seen := make(map[*cfgBlock]bool, len(g.blocks))
@@ -420,19 +426,19 @@ func forwardFlow[F any](g *funcCFG, entry F,
 			}
 		}
 	}
-	if visit == nil {
-		return
-	}
-	for _, blk := range g.blocks {
-		if !seen[blk] {
-			continue
+	if visit != nil {
+		for _, blk := range g.blocks {
+			if !seen[blk] {
+				continue
+			}
+			f := in[blk]
+			for _, n := range blk.nodes {
+				visit(n, f)
+				f = transfer(f, n)
+			}
 		}
-		f := in[blk]
-		for _, n := range blk.nodes {
-			visit(n, f)
-			f = transfer(f, n)
-		}
 	}
+	return in[g.exit], seen[g.exit]
 }
 
 // ---- Reaching definitions ----

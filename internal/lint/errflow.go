@@ -23,9 +23,9 @@ import (
 // fmt.Fprint* unless the destination's static type is *os.File or
 // *bufio.Writer (writes into in-memory buffers cannot fail; writes to
 // files and buffered file writers can). Diagnostic writes to os.Stderr /
-// os.Stdout and methods on in-memory sinks (bytes.Buffer, strings.Builder)
-// are likewise exempt — their errors are documented as always nil or have
-// no recovery path.
+// os.Stdout, methods on in-memory sinks (bytes.Buffer, strings.Builder),
+// and Write on the hash.Hash interfaces are likewise exempt — their errors
+// are documented as always nil or have no recovery path.
 var ErrFlow = &Analyzer{
 	Name: "errflow",
 	Doc:  "error-returning calls must not be silently discarded",
@@ -173,6 +173,11 @@ func (p *Pass) errExempt(call *ast.CallExpr) bool {
 		}
 		s := rt.String()
 		if s == "bytes.Buffer" || s == "strings.Builder" {
+			return true
+		}
+		// hash.Hash.Write is documented to never return an error; every
+		// stdlib implementation honors that contract.
+		if sel.Sel.Name == "Write" && (s == "hash.Hash" || s == "hash.Hash32" || s == "hash.Hash64") {
 			return true
 		}
 	}

@@ -1,0 +1,346 @@
+package lint
+
+// HandleLife tracks close obligations through each function with the
+// forward-flow solver and across functions with the call-graph summaries:
+// opening a handle (os.Open/Create/OpenFile/CreateTemp, net.Listen/Dial*,
+// or any loaded callee whose summary says ReturnsOpen) mints an obligation
+// that must be discharged on every path that returns normally. Discharges:
+//
+//   - x.Close() anywhere in the statement's subtree — plain, deferred, or
+//     inside a deferred closure;
+//   - returning x: the obligation transfers to the caller (the function's
+//     ReturnsOpen summary bit makes every caller re-run this same check on
+//     the returned handle);
+//   - passing x to a loaded callee that closes the matching parameter
+//     (per its Closes summary), or to an unloaded callee outside the known
+//     non-owner list (assumed ownership transfer — the quiet direction);
+//   - storing x anywhere (field, slice, channel send): it escaped the
+//     function's ownership and path-local reasoning ends;
+//   - an error return (`return err`, `return fmt.Errorf(...)`) clears all
+//     obligations on that path: the open-failure branch holds a nil handle
+//     and cleanup belongs to whoever sees the error;
+//   - an exiting call (os.Exit, log.Fatal*, panic, a NoReturn callee):
+//     the process dies, the kernel closes.
+//
+// Known non-owners — wrappers and one-shot readers that never take
+// ownership of the handle passed to them: fmt.Fprint*, io.Copy/ReadAll/
+// WriteString, bufio.NewReader/NewWriter/NewScanner, json.NewEncoder/
+// NewDecoder, csv.NewReader/NewWriter. This is exactly the dump-trace bug
+// class from PR 3: `w := bufio.NewWriter(f)` does not discharge f.
+//
+// The remaining obligations at the function's (reachable) exit are
+// reported at their open site. Test files are skipped.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+var HandleLife = &Analyzer{
+	Name: "handlelife",
+	Doc:  "opened handles must be closed, returned, or handed to an owner on every path",
+	Run:  runHandleLife,
+}
+
+func runHandleLife(p *Pass) {
+	for _, file := range p.Files {
+		if p.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			p.checkHandleFunc(fd.Body)
+			inspectFuncLits(fd.Body, func(lit *ast.FuncLit) {
+				p.checkHandleFunc(lit.Body)
+			})
+		}
+	}
+}
+
+// handleFact maps each obligated variable to its open site. Persistent:
+// the transfer copies before mutating.
+type handleFact map[types.Object]token.Pos
+
+func (p *Pass) summaries() map[string]*FuncSummary {
+	if p.Prog == nil {
+		return nil
+	}
+	return p.Prog.Summaries
+}
+
+// checkHandleFunc runs the obligation flow over one body and reports what
+// survives to the exit.
+func (p *Pass) checkHandleFunc(body *ast.BlockStmt) {
+	g := buildCFG(body)
+	sums := p.summaries()
+	transfer := func(f handleFact, n ast.Node) handleFact {
+		return p.handleTransfer(f, n, sums)
+	}
+	exit, reachable := forwardFlow(g, handleFact{}, transfer, joinHandles, equalHandles, nil)
+	if !reachable {
+		return
+	}
+	type leak struct {
+		pos  token.Pos
+		name string
+	}
+	var leaks []leak
+	for obj, pos := range exit {
+		leaks = append(leaks, leak{pos, obj.Name()})
+	}
+	sort.Slice(leaks, func(i, j int) bool { return leaks[i].pos < leaks[j].pos })
+	for _, l := range leaks {
+		p.Reportf(l.pos, "%s is opened here but not closed on every path; close it, return it, or hand it to an owner", l.name)
+	}
+}
+
+// handleTransfer applies one element's effect on the obligation set.
+func (p *Pass) handleTransfer(f handleFact, n ast.Node, sums map[string]*FuncSummary) handleFact {
+	if len(f) > 0 {
+		f = p.dischargeUses(f, n, sums)
+	}
+	switch st := n.(type) {
+	case *ast.ReturnStmt:
+		if p.isErrorReturn(st) {
+			return handleFact{}
+		}
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok && isExitingCall(p.Info, call, sums) {
+			return handleFact{}
+		}
+	case *ast.AssignStmt:
+		// Mint obligations after use-analysis so `f, err := os.Open(p)`
+		// doesn't immediately discharge itself.
+		if len(st.Rhs) == 1 && len(st.Lhs) > 0 {
+			if call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr); ok && isOpenerCall(p.Info, call, sums) {
+				if id, ok := st.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+					if obj := p.Info.ObjectOf(id); obj != nil {
+						nf := make(handleFact, len(f)+1)
+						for k, v := range f {
+							nf[k] = v
+						}
+						nf[obj] = call.Pos()
+						return nf
+					}
+				}
+			}
+		}
+	}
+	return f
+}
+
+// dischargeUses scans one element's subtree for uses of obligated variables
+// and removes the obligations the use discharges. The classification:
+// Close and ownership transfers discharge; method calls on the handle and
+// non-owner wrappers keep it; any unclassified appearance is an escape and
+// discharges (path-local reasoning cannot follow a stored handle).
+func (p *Pass) dischargeUses(f handleFact, n ast.Node, sums map[string]*FuncSummary) handleFact {
+	obligated := func(e ast.Expr) types.Object {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		obj := p.Info.ObjectOf(id)
+		if obj == nil {
+			return nil
+		}
+		if _, ok := f[obj]; !ok {
+			return nil
+		}
+		return obj
+	}
+	discharged := make(map[types.Object]bool)
+	neutral := make(map[ast.Expr]bool) // occurrences already classified as safe
+	classify := func(e ast.Expr) { neutral[e] = true }
+
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				if obj := obligated(sel.X); obj != nil {
+					if sel.Sel.Name == "Close" && len(x.Args) == 0 {
+						discharged[obj] = true
+					}
+					classify(sel.X) // receiver use: Close or Read/Write/Stat
+				}
+			}
+			for j, arg := range x.Args {
+				obj := obligated(arg)
+				if obj == nil {
+					continue
+				}
+				switch {
+				case p.isNonOwnerCall(x):
+					classify(ast.Unparen(arg)) // borrowed, not owned
+				case p.loadedCalleeCloses(x, j, sums):
+					discharged[obj] = true
+					classify(ast.Unparen(arg))
+				case p.isLoadedCallee(x, sums):
+					classify(ast.Unparen(arg)) // summary says it doesn't close
+				default:
+					discharged[obj] = true // unknown external: assume transfer
+					classify(ast.Unparen(arg))
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if obj := obligated(res); obj != nil {
+					discharged[obj] = true // caller inherits via ReturnsOpen
+					classify(ast.Unparen(res))
+				}
+			}
+		case *ast.BinaryExpr:
+			// Comparisons (f != nil) are neutral.
+			if obj := obligated(x.X); obj != nil {
+				classify(ast.Unparen(x.X))
+			}
+			if obj := obligated(x.Y); obj != nil {
+				classify(ast.Unparen(x.Y))
+			}
+		}
+		return true
+	})
+	// Any remaining appearance of an obligated variable is an escape.
+	ast.Inspect(n, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok || neutral[id] {
+			return true
+		}
+		obj := p.Info.ObjectOf(id)
+		if obj == nil {
+			return true
+		}
+		if _, open := f[obj]; open && !discharged[obj] {
+			// Re-check: the minting assignment's own LHS is not a use.
+			if as, isAssign := n.(*ast.AssignStmt); isAssign {
+				for _, lhs := range as.Lhs {
+					if lhs == m {
+						return true
+					}
+				}
+			}
+			discharged[obj] = true
+		}
+		return true
+	})
+	if len(discharged) == 0 {
+		return f
+	}
+	nf := make(handleFact, len(f))
+	for k, v := range f {
+		if !discharged[k] {
+			nf[k] = v
+		}
+	}
+	return nf
+}
+
+// isErrorReturn reports whether the return carries a live error value (an
+// identifier or call of type error, not the nil literal).
+func (p *Pass) isErrorReturn(ret *ast.ReturnStmt) bool {
+	for _, res := range ret.Results {
+		e := ast.Unparen(res)
+		if id, ok := e.(*ast.Ident); ok && id.Name == "nil" {
+			continue
+		}
+		if t := p.Info.TypeOf(e); t != nil && t.String() == "error" {
+			return true
+		}
+	}
+	return false
+}
+
+// nonOwnerFuncs lists pkg.Func wrappers that borrow a handle argument
+// without taking ownership of it.
+var nonOwnerFuncs = map[string]bool{
+	"io.Copy": true, "io.CopyN": true, "io.ReadAll": true, "io.WriteString": true, "io.ReadFull": true,
+	"bufio.NewReader": true, "bufio.NewWriter": true, "bufio.NewScanner": true, "bufio.NewReadWriter": true,
+	"json.NewEncoder": true, "json.NewDecoder": true,
+	"csv.NewReader": true, "csv.NewWriter": true,
+}
+
+// isNonOwnerCall reports whether the call is a known borrower: fmt.Fprint*
+// or one of the nonOwnerFuncs wrappers.
+func (p *Pass) isNonOwnerCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.Info.Uses[pkgID].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	path := pn.Imported().Path()
+	if path == "fmt" && strings.HasPrefix(sel.Sel.Name, "Fprint") {
+		return true
+	}
+	// Index by package *path* tail + func so encoding/json and encoding/csv
+	// resolve regardless of the local import name.
+	short := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		short = path[i+1:]
+	}
+	return nonOwnerFuncs[short+"."+sel.Sel.Name]
+}
+
+// loadedCalleeCloses reports whether the call's static callee is loaded and
+// closes its j-th parameter per its summary.
+func (p *Pass) loadedCalleeCloses(call *ast.CallExpr, j int, sums map[string]*FuncSummary) bool {
+	if sums == nil {
+		return false
+	}
+	tf := staticCallee(p.Info, call)
+	if tf == nil {
+		return false
+	}
+	cs := sums[funcID(tf)]
+	return cs != nil && cs.Closes[j]
+}
+
+// isLoadedCallee reports whether the call's static callee has a summary
+// (i.e. its body was part of this analysis run).
+func (p *Pass) isLoadedCallee(call *ast.CallExpr, sums map[string]*FuncSummary) bool {
+	if sums == nil {
+		return false
+	}
+	tf := staticCallee(p.Info, call)
+	if tf == nil {
+		return false
+	}
+	return sums[funcID(tf)] != nil
+}
+
+func joinHandles(a, b handleFact) handleFact {
+	out := make(handleFact, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		if _, ok := out[k]; !ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func equalHandles(a, b handleFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}

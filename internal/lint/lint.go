@@ -47,7 +47,7 @@ type Analyzer struct {
 }
 
 // All is the full qb5000vet suite.
-var All = []*Analyzer{SeededRand, NoClock, MapOrder, CtxFirst, FloatEq, GuardedBy, SliceShare, ErrFlow}
+var All = []*Analyzer{SeededRand, NoClock, MapOrder, CtxFirst, FloatEq, GuardedBy, SliceShare, ErrFlow, GoLeak, CtxProp, HandleLife}
 
 // A Pass carries one type-checked package through the analyzers.
 type Pass struct {
@@ -55,6 +55,11 @@ type Pass struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+
+	// Prog is the interprocedural context (call graph + summaries) shared by
+	// every unit of the run. The summary-based analyzers degrade to their
+	// purely local checks when it is nil.
+	Prog *Program
 
 	analyzer *Analyzer
 	findings []Finding
@@ -91,11 +96,19 @@ func strictClockUnit(unitPath string) bool {
 	return strictClockPackages[strings.TrimSuffix(unitPath, "_test")]
 }
 
-// Run executes the analyzers over one package unit and returns the findings
-// that survive //lint:ignore suppression, plus any directive-hygiene
-// findings, sorted by position.
+// Run executes the analyzers over one package unit in isolation: a
+// single-unit Program is built on the fly, so the summary-based analyzers
+// see the unit's own call graph but nothing across packages. The driver
+// uses Program.Run instead to share one graph across the whole set.
 func Run(pkg *Package, analyzers []*Analyzer) []Finding {
-	pass := &Pass{Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info}
+	return NewProgram([]*Package{pkg}).Run(pkg, analyzers)
+}
+
+// Run executes the analyzers over one unit of the program and returns the
+// findings that survive //lint:ignore suppression, plus any
+// directive-hygiene findings, sorted by position.
+func (prog *Program) Run(pkg *Package, analyzers []*Analyzer) []Finding {
+	pass := &Pass{Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info, Prog: prog}
 	for _, a := range analyzers {
 		pass.analyzer = a
 		a.Run(pass)
@@ -191,7 +204,7 @@ func directives(fset *token.FileSet, files []*ast.File) (suppressions, []Finding
 				pos := fset.Position(c.Pos())
 				for _, name := range strings.Split(names, ",") {
 					if !knownAnalyzers[name] {
-						report(c.Pos(), "lint:ignore names unknown analyzer %q (known: seededrand, noclock, maporder, ctxfirst, floateq, guardedby, sliceshare, errflow)", name)
+						report(c.Pos(), "lint:ignore names unknown analyzer %q (known: seededrand, noclock, maporder, ctxfirst, floateq, guardedby, sliceshare, errflow, goleak, ctxprop, handlelife)", name)
 						continue
 					}
 					sup.add(name, pos.Filename, pos.Line)

@@ -92,6 +92,10 @@ func TestGuardedByGolden(t *testing.T)  { runGolden(t, GuardedBy, "guardedby", "
 func TestSliceShareGolden(t *testing.T) { runGolden(t, SliceShare, "sliceshare", "fixture/sliceshare") }
 func TestErrFlowGolden(t *testing.T)    { runGolden(t, ErrFlow, "errflow", "fixture/errflow") }
 
+func TestGoLeakGolden(t *testing.T)     { runGolden(t, GoLeak, "goleak", "fixture/goleak") }
+func TestCtxPropGolden(t *testing.T)    { runGolden(t, CtxProp, "ctxprop", "fixture/ctxprop") }
+func TestHandleLifeGolden(t *testing.T) { runGolden(t, HandleLife, "handlelife", "fixture/handlelife") }
+
 // TestSuppression checks that valid //lint:ignore directives (leading,
 // trailing, and multi-analyzer) swallow findings, while directives naming a
 // different analyzer do not.

@@ -9,7 +9,8 @@ import (
 // SliceShare polices the data-sharing contract of internal/parallel worker
 // closures — the exact bug class the pipeline's bit-identical-at-any-
 // parallelism guarantee depends on. A slice or map captured by the function
-// literal handed to parallel.ForEach / parallel.Map must be one of:
+// literal handed to parallel.ForEach / parallel.Map / parallel.Each must be
+// one of:
 //
 //   - read-only inside the worker;
 //   - written only at indices derived from the worker's own index parameter
@@ -39,7 +40,7 @@ func runSliceShare(p *Pass) {
 				return true
 			}
 			sel := call.Fun.(*ast.SelectorExpr)
-			if sel.Sel.Name != "ForEach" && sel.Sel.Name != "Map" {
+			if sel.Sel.Name != "ForEach" && sel.Sel.Name != "Map" && sel.Sel.Name != "Each" {
 				return true
 			}
 			if len(call.Args) == 0 {

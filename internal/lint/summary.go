@@ -1,0 +1,495 @@
+package lint
+
+// Per-function summaries over the call graph. Summaries are computed once
+// per Program in bottom-up SCC order with a fixed point over recursive
+// components; every bit is monotone (false → true only), so the iteration
+// terminates. Dynamic (interface may-call) edges never contribute to a
+// summary: a may-edge proves nothing about what actually runs.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// A FuncSummary condenses the interprocedurally relevant behavior of one
+// function. Bits are conservative in the quiet direction: "false" always
+// means "not proven", never "proven absent".
+type FuncSummary struct {
+	// AcceptsCtx: the function has a context.Context parameter.
+	AcceptsCtx bool
+	// ForwardsCtx: some call in the body receives a context-typed argument.
+	ForwardsCtx bool
+	// UsesFreshCtx: the function calls context.Background()/context.TODO(),
+	// directly or through a static callee that does not itself accept a
+	// context (a ctx-accepting callee insulates its callers: its fresh
+	// context is its own business, e.g. a nil-ctx guard).
+	UsesFreshCtx bool
+	// Spawns: the function starts a goroutine, directly or via static callees.
+	Spawns bool
+	// MayBlockForever: the body contains an unbounded loop (for with no
+	// condition) with no exit path, or an empty select, or statically calls
+	// (including defers) a function that does.
+	MayBlockForever bool
+	// NoReturn: the function never returns normally — its body ends in a
+	// call to os.Exit / log.Fatal* / panic / runtime.Goexit or a NoReturn
+	// callee, or it blocks forever.
+	NoReturn bool
+	// ReturnsOpen: the function returns a handle it opened itself (directly
+	// or by forwarding a ReturnsOpen callee's result); callers inherit the
+	// close obligation.
+	ReturnsOpen bool
+	// AcquiresLock / ReleasesLock: the body calls Lock/RLock (resp.
+	// Unlock/RUnlock) on a sync.Mutex or sync.RWMutex.
+	AcquiresLock, ReleasesLock bool
+	// Closes marks parameters the function closes on some path (including
+	// via static callees); key -1 is the method receiver.
+	Closes map[int]bool
+}
+
+// A Program is the package set under analysis with its interprocedural
+// artifacts: the call graph and the per-function summaries.
+type Program struct {
+	Units     []*Package
+	Graph     *CallGraph
+	Summaries map[string]*FuncSummary
+}
+
+// NewProgram builds the call graph and summaries over the given units.
+func NewProgram(units []*Package) *Program {
+	prog := &Program{Units: units, Graph: buildCallGraph(units)}
+	prog.Summaries = computeSummaries(prog.Graph)
+	return prog
+}
+
+// Summary returns the summary for a symbolic function ID, or nil for
+// functions outside the loaded set.
+func (prog *Program) Summary(id string) *FuncSummary { return prog.Summaries[id] }
+
+// computeSummaries walks the SCC condensation bottom-up, iterating each
+// component to a fixed point.
+func computeSummaries(g *CallGraph) map[string]*FuncSummary {
+	sums := make(map[string]*FuncSummary, len(g.Order))
+	for _, n := range g.Order {
+		sums[n.ID] = &FuncSummary{Closes: make(map[int]bool)}
+	}
+	for _, scc := range g.SCCs {
+		for changed := true; changed; {
+			changed = false
+			for _, n := range scc {
+				if summarize(n, sums) {
+					changed = true
+				}
+			}
+		}
+	}
+	return sums
+}
+
+// summarize recomputes one node's summary from its body and its callees'
+// current summaries, reporting whether any bit changed.
+// bits snapshots the comparable part of a summary (everything but Closes,
+// which is tracked by size — entries are only ever added).
+func (s *FuncSummary) bits() [9]bool {
+	return [9]bool{s.AcceptsCtx, s.ForwardsCtx, s.UsesFreshCtx, s.Spawns,
+		s.MayBlockForever, s.NoReturn, s.ReturnsOpen, s.AcquiresLock, s.ReleasesLock}
+}
+
+func summarize(n *FuncNode, sums map[string]*FuncSummary) bool {
+	s := sums[n.ID]
+	old := s.bits()
+	oldCloses := len(s.Closes)
+	info := n.Pkg.Info
+
+	params, recvObj := paramObjects(info, n)
+	if n.Type != nil && n.Type.Params != nil {
+		for _, f := range n.Type.Params.List {
+			if isCtxExpr(info, f.Type) {
+				s.AcceptsCtx = true
+			}
+		}
+	}
+
+	if n.Body != nil {
+		scanOwnBody(n, s, info, sums)
+		scanCloses(n, s, info, params, recvObj, sums)
+		scanReturnsOpen(n, s, info, sums)
+	}
+
+	// Callee propagation over static edges only.
+	for _, e := range n.Out {
+		if e.Dynamic || e.Callee == nil {
+			continue
+		}
+		cs := sums[e.Callee.ID]
+		if cs == nil {
+			continue
+		}
+		if cs.Spawns {
+			s.Spawns = true
+		}
+		// A spawned callee blocking forever does not block the spawner.
+		if cs.MayBlockForever && !e.Go {
+			s.MayBlockForever = true
+		}
+		if cs.UsesFreshCtx && !cs.AcceptsCtx {
+			s.UsesFreshCtx = true
+		}
+	}
+	if s.MayBlockForever {
+		s.NoReturn = true
+	}
+
+	return s.bits() != old || len(s.Closes) != oldCloses
+}
+
+// paramObjects resolves the node's parameter objects (positionally) and its
+// receiver object.
+func paramObjects(info *types.Info, n *FuncNode) ([]types.Object, types.Object) {
+	var params []types.Object
+	if n.Type != nil && n.Type.Params != nil {
+		for _, f := range n.Type.Params.List {
+			if len(f.Names) == 0 {
+				params = append(params, nil)
+				continue
+			}
+			for _, name := range f.Names {
+				params = append(params, info.Defs[name])
+			}
+		}
+	}
+	var recvObj types.Object
+	if n.Decl != nil && n.Decl.Recv != nil && len(n.Decl.Recv.List) > 0 && len(n.Decl.Recv.List[0].Names) > 0 {
+		recvObj = info.Defs[n.Decl.Recv.List[0].Names[0]]
+	}
+	return params, recvObj
+}
+
+// scanOwnBody computes the purely local bits: spawning, fresh contexts,
+// context forwarding, lock traffic, unbounded loops, and no-return endings.
+func scanOwnBody(n *FuncNode, s *FuncSummary, info *types.Info, sums map[string]*FuncSummary) {
+	inspectShallow(n.Body, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.GoStmt:
+			s.Spawns = true
+		case *ast.CallExpr:
+			if isFreshCtxCall(info, x) {
+				s.UsesFreshCtx = true
+			}
+			for _, arg := range x.Args {
+				if isCtxExpr(info, arg) {
+					s.ForwardsCtx = true
+				}
+			}
+			if name, onMutex := mutexMethod(info, x); onMutex {
+				switch name {
+				case "Lock", "RLock":
+					s.AcquiresLock = true
+				case "Unlock", "RUnlock":
+					s.ReleasesLock = true
+				}
+			}
+		case *ast.ForStmt:
+			if x.Cond == nil && !loopExits(info, x, sums) {
+				s.MayBlockForever = true
+			}
+		case *ast.SelectStmt:
+			if len(x.Body.List) == 0 {
+				s.MayBlockForever = true
+			}
+		}
+		return true
+	})
+	if last := lastStmt(n.Body); last != nil {
+		if es, ok := last.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok && isExitingCall(info, call, sums) {
+				s.NoReturn = true
+			}
+		}
+	}
+}
+
+// scanCloses records which parameters (and the receiver) the function closes,
+// either directly or by handing them to a static callee that closes them.
+// The scan covers the full subtree — defers and closures included — because
+// a close anywhere still discharges the obligation on some path.
+func scanCloses(n *FuncNode, s *FuncSummary, info *types.Info,
+	params []types.Object, recvObj types.Object, sums map[string]*FuncSummary) {
+	indexOf := func(obj types.Object) (int, bool) {
+		if obj == nil {
+			return 0, false
+		}
+		if obj == recvObj {
+			return -1, true
+		}
+		for i, p := range params {
+			if p != nil && p == obj {
+				return i, true
+			}
+		}
+		return 0, false
+	}
+	ast.Inspect(n.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Direct x.Close().
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" && len(call.Args) == 0 {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				if i, ok := indexOf(info.ObjectOf(id)); ok {
+					s.Closes[i] = true
+				}
+			}
+		}
+		// Forwarded to a callee that closes the matching parameter.
+		if tf := staticCallee(info, call); tf != nil {
+			if cs := sums[funcID(tf)]; cs != nil && len(cs.Closes) > 0 {
+				for j, arg := range call.Args {
+					id, ok := ast.Unparen(arg).(*ast.Ident)
+					if !ok || !cs.Closes[j] {
+						continue
+					}
+					if i, ok := indexOf(info.ObjectOf(id)); ok {
+						s.Closes[i] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// scanReturnsOpen marks functions that hand an open handle to their caller:
+// a return whose result is an opener call directly, or an identifier that
+// was assigned from one and is never closed in this body.
+func scanReturnsOpen(n *FuncNode, s *FuncSummary, info *types.Info, sums map[string]*FuncSummary) {
+	opened := make(map[types.Object]bool)
+	closed := make(map[types.Object]bool)
+	inspectShallow(n.Body, func(node ast.Node) bool {
+		x, ok := node.(*ast.AssignStmt)
+		if !ok || len(x.Rhs) != 1 {
+			return true
+		}
+		if call, ok := ast.Unparen(x.Rhs[0]).(*ast.CallExpr); ok && isOpenerCall(info, call, sums) {
+			if id, ok := x.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+				if obj := info.ObjectOf(id); obj != nil {
+					opened[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	// Closes discharge wherever they appear — defers and closures included.
+	ast.Inspect(n.Body, func(node ast.Node) bool {
+		if call, ok := node.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" && len(call.Args) == 0 {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if obj := info.ObjectOf(id); obj != nil {
+						closed[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	inspectShallow(n.Body, func(node ast.Node) bool {
+		ret, ok := node.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			switch r := ast.Unparen(res).(type) {
+			case *ast.CallExpr:
+				if isOpenerCall(info, r, sums) {
+					s.ReturnsOpen = true
+				}
+			case *ast.Ident:
+				if obj := info.ObjectOf(r); obj != nil && opened[obj] && !closed[obj] {
+					s.ReturnsOpen = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// osOpeners and netOpeners are the stdlib calls that mint close obligations.
+var osOpeners = map[string]bool{"Open": true, "Create": true, "OpenFile": true, "CreateTemp": true}
+var netOpeners = map[string]bool{"Listen": true, "ListenTCP": true, "ListenUDP": true, "ListenUnix": true,
+	"ListenPacket": true, "Dial": true, "DialTimeout": true, "DialTCP": true, "DialUDP": true, "DialUnix": true}
+
+// isOpenerCall reports whether call mints a close obligation: an os/net
+// opener, or a loaded callee whose summary says it returns an open handle.
+func isOpenerCall(info *types.Info, call *ast.CallExpr, sums map[string]*FuncSummary) bool {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if isPkgIdent(info, sel.X, "os") && osOpeners[sel.Sel.Name] {
+			return true
+		}
+		if isPkgIdent(info, sel.X, "net") && netOpeners[sel.Sel.Name] {
+			return true
+		}
+	}
+	if sums != nil {
+		if tf := staticCallee(info, call); tf != nil {
+			if cs := sums[funcID(tf)]; cs != nil && cs.ReturnsOpen {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// lastStmt returns the final statement of a block, or nil.
+func lastStmt(body *ast.BlockStmt) ast.Stmt {
+	if body == nil || len(body.List) == 0 {
+		return nil
+	}
+	return body.List[len(body.List)-1]
+}
+
+// isCtxExpr reports whether e's static type is context.Context.
+func isCtxExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	return t != nil && t.String() == "context.Context"
+}
+
+// isFreshCtxCall reports a call to context.Background or context.TODO.
+func isFreshCtxCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+		return false
+	}
+	return isPkgIdent(info, sel.X, "context")
+}
+
+// isPkgIdent reports whether e is an identifier naming the import of pkgPath.
+func isPkgIdent(info *types.Info, e ast.Expr, pkgPath string) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if pn, ok := info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path() == pkgPath
+	}
+	return false
+}
+
+// mutexMethod reports the method name if call is a method on sync.Mutex or
+// sync.RWMutex (possibly behind a pointer).
+func mutexMethod(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return "", false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	switch t.String() {
+	case "sync.Mutex", "sync.RWMutex":
+		return sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// isExitingCall reports whether call never returns to its caller: os.Exit,
+// log.Fatal*, runtime.Goexit, the panic builtin, or a loaded callee whose
+// summary says NoReturn. sums may be nil when summaries are not available.
+func isExitingCall(info *types.Info, call *ast.CallExpr, sums map[string]*FuncSummary) bool {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		if f.Name == "panic" && info.Uses[f] == nil {
+			return true // builtin
+		}
+	case *ast.SelectorExpr:
+		name := f.Sel.Name
+		if isPkgIdent(info, f.X, "os") && name == "Exit" {
+			return true
+		}
+		if isPkgIdent(info, f.X, "log") && (name == "Fatal" || name == "Fatalf" || name == "Fatalln" || name == "Panic" || name == "Panicf" || name == "Panicln") {
+			return true
+		}
+		if isPkgIdent(info, f.X, "runtime") && name == "Goexit" {
+			return true
+		}
+		if tm, ok := info.TypeOf(f.X).(*types.Pointer); ok && tm.Elem().String() == "testing.T" && (name == "Fatal" || name == "Fatalf" || name == "FailNow" || name == "Skip" || name == "Skipf" || name == "SkipNow") {
+			return true
+		}
+	}
+	if sums != nil {
+		if tf := staticCallee(info, call); tf != nil {
+			if cs := sums[funcID(tf)]; cs != nil && cs.NoReturn {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// loopExits reports whether an unconditional for loop has any path out:
+// a return, a break binding to this loop (directly or by label), a goto, or
+// a call that never returns. sums propagates NoReturn callees when set.
+//
+// The walk is nesting-aware: an unlabeled break inside a nested for, switch,
+// or select binds to that construct, not to the loop under test — the
+// classic `case <-ctx.Done(): break` bug therefore does NOT count as an
+// exit. Function literals are opaque (their control flow is their own).
+func loopExits(info *types.Info, loop *ast.ForStmt, sums map[string]*FuncSummary) bool {
+	exits := false
+	var walk func(node ast.Node, depth int)
+	walk = func(node ast.Node, depth int) {
+		if node == nil || exits {
+			return
+		}
+		switch x := node.(type) {
+		case *ast.FuncLit:
+			return
+		case *ast.ReturnStmt:
+			exits = true
+			return
+		case *ast.BranchStmt:
+			switch x.Tok.String() {
+			case "break":
+				// A labeled break always escapes at least this loop (labels
+				// can only name enclosing statements); an unlabeled one
+				// escapes only when it binds directly to this loop.
+				if x.Label != nil || depth == 0 {
+					exits = true
+				}
+			case "goto":
+				exits = true // conservatively an escape
+			}
+			return
+		case *ast.ExprStmt:
+			if call, ok := x.X.(*ast.CallExpr); ok && isExitingCall(info, call, sums) {
+				exits = true
+				return
+			}
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			walkChildren(x, func(c ast.Node) { walk(c, depth+1) })
+			return
+		}
+		walkChildren(node, func(c ast.Node) { walk(c, depth) })
+	}
+	walk(loop.Body, 0)
+	return exits
+}
+
+// walkChildren invokes f on each direct child of n.
+func walkChildren(n ast.Node, f func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(m ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if m == nil {
+			return false
+		}
+		f(m)
+		return false
+	})
+}

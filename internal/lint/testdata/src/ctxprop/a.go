@@ -1,0 +1,57 @@
+// Package ctxpropfix exercises the ctxprop analyzer: a function that was
+// handed a context must forward it, not mint fresh ones — directly or one
+// wrapper-call deep.
+package ctxpropfix
+
+import "context"
+
+func doWork(ctx context.Context) error { return ctx.Err() }
+
+// freshInside is the wrapper shape: takes no context, conjures one inside.
+// Calling it is fine from the top level and a finding from ctx carriers.
+func freshInside() {
+	_ = doWork(context.Background())
+}
+
+// sever passes a fresh context despite having a live one.
+func sever(ctx context.Context) {
+	_ = doWork(context.Background()) // want "severs the cancellation chain"
+}
+
+// swallowed drops its context one call down the wrapper.
+func swallowed(ctx context.Context) {
+	freshInside() // want "drops the context"
+}
+
+// forward threads the context: fine.
+func forward(ctx context.Context) {
+	_ = doWork(ctx)
+}
+
+// derive forwards a derived context: fine.
+func derive(ctx context.Context) {
+	c, cancel := context.WithCancel(ctx)
+	defer cancel()
+	_ = doWork(c)
+}
+
+// nilGuard assigns a fresh context, it does not pass one: fine.
+func nilGuard(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	_ = doWork(ctx)
+}
+
+// topLevel has no context to forward; minting here is the legitimate root.
+func topLevel() {
+	freshInside()
+	_ = doWork(context.Background())
+}
+
+// closureSever captures ctx from its enclosing function and still severs.
+func closureSever(ctx context.Context) func() {
+	return func() {
+		_ = doWork(context.Background()) // want "severs the cancellation chain"
+	}
+}

@@ -3,6 +3,7 @@ package errflow
 import (
 	"bytes"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"strings"
 )
@@ -97,6 +98,12 @@ func valueBuilder() string {
 	var sb strings.Builder
 	sb.WriteString("value-typed builders are exempt too")
 	return sb.String()
+}
+
+func hashWrite(s string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(s)) // hash.Hash.Write is documented to never fail: exempt
+	return h.Sum32()
 }
 
 func goroutine() {

@@ -1,0 +1,106 @@
+// Package goleakfix exercises the goleak analyzer: goroutines must have a
+// termination path, spawns inside unbounded loops are leak amplifiers, and
+// http.Server literals must bound client read time.
+package goleakfix
+
+import (
+	"context"
+	"net/http"
+)
+
+// blockForever loops with no exit path at all.
+func blockForever() {
+	for {
+	}
+}
+
+// viaCallee reaches the blocker one static call deep.
+func viaCallee() { blockForever() }
+
+func spawnDirect() {
+	go blockForever() // want "no termination path"
+}
+
+func spawnTransitive() {
+	go viaCallee() // want "no termination path"
+}
+
+func spawnLit() {
+	go func() { // want "no termination path"
+		for {
+		}
+	}()
+}
+
+// spawnDoneBreak looks cancellable, but the break binds the select, not the
+// loop: the goroutine spins forever.
+func spawnDoneBreak(ctx context.Context) {
+	go func() { // want "no termination path"
+		for {
+			select {
+			case <-ctx.Done():
+				break
+			default:
+			}
+		}
+	}()
+}
+
+// spawnCancellable returns out of the loop on ctx.Done: fine.
+func spawnCancellable(ctx context.Context, ticks chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticks:
+			}
+		}
+	}()
+}
+
+// spawnDrain terminates when the channel is closed: fine.
+func spawnDrain(jobs chan int) {
+	go func() {
+		for range jobs {
+		}
+	}()
+}
+
+func handle() {}
+
+// spawnPerMessage leaks one goroutine per message, forever.
+func spawnPerMessage(jobs chan int) {
+	for range jobs {
+		go handle() // want "unbounded loop"
+	}
+}
+
+// spawnForever spawns in a bare infinite loop.
+func spawnForever() {
+	for {
+		go handle() // want "unbounded loop"
+	}
+}
+
+// spawnPerItem is bounded by the slice length: fine.
+func spawnPerItem(items []int) {
+	for range items {
+		go handle()
+	}
+}
+
+// spawnBoundedPool is the counted worker-pool shape: fine.
+func spawnBoundedPool(n int) {
+	for g := 0; g < n; g++ {
+		go handle()
+	}
+}
+
+func badServer() *http.Server {
+	return &http.Server{Addr: ":0"} // want "http.Server without ReadHeaderTimeout"
+}
+
+func goodServer() *http.Server {
+	return &http.Server{Addr: ":0", ReadHeaderTimeout: 1}
+}

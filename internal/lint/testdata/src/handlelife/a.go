@@ -1,0 +1,156 @@
+// Package handlelifefix exercises the handlelife analyzer: every opened
+// handle must be closed, returned, or handed to an owner on every path that
+// returns normally.
+package handlelifefix
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+)
+
+// leaky forgets the handle on the happy path.
+func leaky(path string) (int64, error) {
+	f, err := os.Open(path) // want "not closed on every path"
+	if err != nil {
+		return 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// closed defers the close: fine.
+func closed(path string) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// closedInDeferredClosure is the dump-trace fix shape: the close (and its
+// error check) live in a deferred closure.
+func closedInDeferredClosure(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "close:", cerr)
+		}
+	}()
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "hello")
+	return w.Flush()
+}
+
+// bufferedLeak hands the file to a borrower and forgets it: bufio.NewWriter
+// does not take ownership, so the obligation survives to the nil return.
+func bufferedLeak(path string) error {
+	f, err := os.Create(path) // want "not closed on every path"
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "data")
+	_ = w.Flush()
+	return nil
+}
+
+// consume takes ownership and closes: its Closes summary discharges callers.
+func consume(f *os.File) {
+	defer f.Close()
+}
+
+// handedOff transfers ownership to the loaded closer: fine.
+func handedOff(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	consume(f)
+	return nil
+}
+
+// size borrows: the summary proves it does not close its argument.
+func size(f *os.File) int64 {
+	st, err := f.Stat()
+	if err != nil {
+		return 0
+	}
+	return st.Size()
+}
+
+// inspected passes the handle to a loaded non-closer and drops it.
+func inspected(path string) error {
+	f, err := os.Open(path) // want "not closed on every path"
+	if err != nil {
+		return err
+	}
+	size(f)
+	return nil
+}
+
+// opener returns the handle: the caller inherits the obligation (the
+// function's ReturnsOpen summary re-runs this check at every call site).
+func opener(path string) (*os.File, error) {
+	return os.Open(path)
+}
+
+// callerLeaks inherits the obligation from opener and drops it.
+func callerLeaks(path string) {
+	f, _ := opener(path) // want "not closed on every path"
+	size(f)
+}
+
+// callerCloses inherits and discharges: fine.
+func callerCloses(path string) error {
+	f, err := opener(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	size(f)
+	return nil
+}
+
+type holder struct{ f *os.File }
+
+// stored escapes into a struct: ownership moved, path-local reasoning ends.
+func stored(path string) (*holder, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &holder{f: f}, nil
+}
+
+// listenerLeak drops a net.Listener on the non-error path.
+func listenerLeak() error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0") // want "not closed on every path"
+	if err != nil {
+		return err
+	}
+	_ = ln.Addr()
+	return nil
+}
+
+// exitsProcess: os.Exit on the failure path is not a leak, and the happy
+// path returns the handle to the caller.
+func exitsProcess(path string) *os.File {
+	f, err := os.Open(path)
+	if err != nil {
+		os.Exit(1)
+	}
+	return f
+}

@@ -1,8 +1,6 @@
 package nn
 
 import (
-	"context"
-
 	"qb5000/internal/parallel"
 )
 
@@ -60,14 +58,13 @@ func (n *LSTMNet) TrainBatchParallel(seqs [][][]float64, targets [][]float64) fl
 		}
 		results = append(results, chunkResult{net: n.Clone(), size: to - from})
 	}
-	// Gradient accumulation never fails, so the pool error is impossible
-	// here (no context, no worker errors) — ignore it.
-	//lint:ignore errflow background context cannot cancel and workers always return nil
-	_ = parallel.ForEach(context.Background(), trainWorkers, len(results), func(_ context.Context, i int) error {
+	// Gradient accumulation cannot fail and needs no cancellation, so the
+	// infallible pool variant fits: no context to thread, no always-nil
+	// error to discard.
+	parallel.Each(trainWorkers, len(results), func(i int) {
 		from := i * chunkSize
 		to := from + results[i].size
 		results[i].loss = results[i].net.TrainBatch(seqs[from:to], targets[from:to])
-		return nil
 	})
 
 	// Combine: each worker normalized its gradients by its own chunk size;

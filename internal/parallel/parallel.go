@@ -99,6 +99,46 @@ func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i
 	return ctx.Err()
 }
 
+// Each runs fn(i) for every i in [0, n) on up to workers goroutines
+// (workers resolved via Workers). It is the infallible sibling of ForEach
+// for work that cannot fail and needs no cancellation — gradient
+// accumulation, feature extraction, metric folds — where threading a
+// context.Background() through ForEach and discarding its always-nil error
+// only obscures the contract. Panics are not recovered: a panicking fn is a
+// caller bug and tears down the process, exactly as it would serially. With
+// workers == 1 (or n == 1) the work runs inline in index order.
+func Each(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // pool is the shared dispatch state of one concurrent ForEach run. The
 // annotated fields are shared by every worker goroutine and may only be
 // touched through their atomic method calls; qb5000vet's guardedby analyzer

@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"qb5000/internal/leakcheck"
 )
 
 func TestWorkers(t *testing.T) {
@@ -146,6 +148,7 @@ func TestForEachPanicRecovery(t *testing.T) {
 }
 
 func TestForEachBoundedConcurrency(t *testing.T) {
+	defer leakcheck.Take(t).Done()
 	const workers = 3
 	var cur, peak atomic.Int32
 	err := ForEach(context.Background(), workers, 50, func(_ context.Context, i int) error {
@@ -169,6 +172,7 @@ func TestForEachBoundedConcurrency(t *testing.T) {
 }
 
 func TestForEachParentCancellation(t *testing.T) {
+	defer leakcheck.Take(t).Done()
 	ctx, cancel := context.WithCancel(context.Background())
 	var started atomic.Int32
 	var once sync.Once
@@ -183,6 +187,38 @@ func TestForEachParentCancellation(t *testing.T) {
 	if s := started.Load(); s == 1000 {
 		t.Error("cancellation did not stop the pool early")
 	}
+}
+
+func TestEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 4, 64} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			leakcheck.Check(t, func() {
+				const n = 100
+				counts := make([]atomic.Int32, n)
+				Each(workers, n, func(i int) {
+					counts[i].Add(1)
+				})
+				for i := range counts {
+					if c := counts[i].Load(); c != 1 {
+						t.Fatalf("index %d ran %d times, want exactly once", i, c)
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestEachInlinePath(t *testing.T) {
+	// workers == 1 must run in index order on the calling goroutine.
+	var order []int
+	Each(1, 5, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("inline Each out of order: %v", order)
+		}
+	}
+	// n <= 0 is a no-op.
+	Each(4, 0, func(i int) { t.Fatal("fn must not run for n == 0") })
 }
 
 func TestMap(t *testing.T) {

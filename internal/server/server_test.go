@@ -10,10 +10,16 @@ import (
 	"time"
 
 	"qb5000"
+	"qb5000/internal/leakcheck"
 )
 
 func newTestServer(t *testing.T) (*httptest.Server, *Server) {
 	t.Helper()
+	// Cleanups run LIFO: the server closes, then the shared client drops
+	// its keep-alive connections, and only then does the leak check assert
+	// that every handler and transport goroutine is gone.
+	t.Cleanup(leakcheck.Take(t).Done)
+	t.Cleanup(http.DefaultClient.CloseIdleConnections)
 	f := qb5000.New(qb5000.Config{Model: "LR", Horizons: []time.Duration{time.Hour}, Seed: 1})
 	s := New(f)
 	ts := httptest.NewServer(s.Handler())
@@ -109,7 +115,8 @@ func TestEndpointErrors(t *testing.T) {
 	}
 	resp.Body.Close()
 	// Untrained horizon.
-	http.Post(ts.URL+"/observe", "text/plain", strings.NewReader("2018-05-01T00:00:00Z\tSELECT a FROM t\n"))
+	resp, _ = http.Post(ts.URL+"/observe", "text/plain", strings.NewReader("2018-05-01T00:00:00Z\tSELECT a FROM t\n"))
+	resp.Body.Close()
 	resp, _ = http.Get(ts.URL + "/forecast?horizon=9h")
 	if resp.StatusCode != http.StatusConflict {
 		t.Fatalf("untrained-horizon status %d", resp.StatusCode)
@@ -136,9 +143,13 @@ func TestEndpointErrors(t *testing.T) {
 
 func TestStatsAndTemplates(t *testing.T) {
 	ts, _ := newTestServer(t)
-	http.Post(ts.URL+"/observe", "text/plain", strings.NewReader(traceBody()))
+	resp, err := http.Post(ts.URL+"/observe", "text/plain", strings.NewReader(traceBody()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
 
-	resp, err := http.Get(ts.URL + "/stats")
+	resp, err = http.Get(ts.URL + "/stats")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -175,7 +175,6 @@ func (f Features) LogicalVector() []float64 {
 
 func hashBucket(s string, buckets int) int {
 	h := fnv.New32a()
-	//lint:ignore errflow hash.Hash.Write is documented to never return an error
 	h.Write([]byte(s))
 	return int(h.Sum32() % uint32(buckets))
 }

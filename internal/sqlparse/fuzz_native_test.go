@@ -26,6 +26,14 @@ var fuzzSeeds = []string{
 	"DELETE FROM sessions WHERE expires < ?",
 	"select   A ,B from T where X=1",
 	"SELECT a FROM t WHERE s LIKE 'pre%'",
+	// MOOC workload-evolution shapes (§7.1): the templates the semester
+	// phase shift introduces, exercising multi-column inserts, join+group,
+	// descending order with limit, counting joins, and LIKE search.
+	"INSERT INTO content (course_id, unit, title, body, rev2) VALUES (101, 3, 'unit', 'body', 7)",
+	"SELECT e.user_id, COUNT(*) FROM enrollments e JOIN submissions s ON e.user_id = s.user_id WHERE e.course_id = 101 AND e.cohort = 4 GROUP BY e.user_id",
+	"SELECT t.id, t.title, t.replies FROM threads t WHERE t.course_id = 101 ORDER BY t.updated_at DESC LIMIT 25",
+	"SELECT COUNT(*) FROM posts p JOIN threads t ON p.thread_id = t.id WHERE t.course_id = 101 AND p.created_at > 1525132800",
+	"SELECT t.id, t.title FROM threads t WHERE t.course_id = 101 AND t.title LIKE 'q7'",
 }
 
 // FuzzParse drives the parser with arbitrary byte strings and checks the
