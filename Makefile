@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short cover bench race lint ci experiments experiments-quick vet vet-graph fmt clean fuzz-smoke
+.PHONY: all build test test-short cover bench bench-ingest race lint ci experiments experiments-quick vet vet-graph fmt clean fuzz-smoke
 
 all: build test
 
@@ -18,6 +18,11 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Measure sharded-ingest scaling: ObserveMany throughput at 1, 4, and
+# GOMAXPROCS goroutines against the striped catalog.
+bench-ingest:
+	$(GO) test -run '^$$' -bench 'BenchmarkObserveParallel' -benchmem .
 
 # Run the full suite under the race detector (mirrors the CI `race` job).
 race:

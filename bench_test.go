@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -207,6 +209,118 @@ func benchClusterUpdate(b *testing.B, parallelism int) {
 
 func BenchmarkClusterUpdateSequential(b *testing.B) { benchClusterUpdate(b, 1) }
 func BenchmarkClusterUpdateParallel(b *testing.B)   { benchClusterUpdate(b, 0) }
+
+// benchObserve drives ObserveBatch from the given number of goroutines over
+// a fixed pool of distinct templates, measuring contended ingest throughput.
+// The catalog is pre-warmed so the steady state — template exists, fold the
+// arrival into its history — dominates, which is exactly the path a DBMS
+// exercises when forwarding its query stream (§3: ingest must stay off the
+// critical path). goroutines=1 is the sequential baseline.
+func benchObserve(b *testing.B, goroutines int) {
+	b.Helper()
+	f := New(Config{Seed: 1})
+	queries := make([]string, 256)
+	for i := range queries {
+		queries[i] = fmt.Sprintf("SELECT a, b FROM t%d WHERE x = 1 AND y = 2", i)
+	}
+	at := time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i, q := range queries {
+		if err := f.Observe(q, at.Add(time.Duration(i)*time.Second)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	var wg sync.WaitGroup
+	per := b.N / goroutines
+	for g := 0; g < goroutines; g++ {
+		n := per
+		if g == 0 {
+			n += b.N % goroutines
+		}
+		wg.Add(1)
+		go func(g, n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				q := queries[(g*31+i)%len(queries)]
+				ts := at.Add(time.Duration(i%3600) * time.Second)
+				if err := f.ObserveBatch(q, ts, 1); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(g, n)
+	}
+	wg.Wait()
+}
+
+// BenchmarkObserveParallel quantifies how ingest throughput scales with
+// cores (make bench-ingest; wired into the CI bench-smoke job). The
+// acceptance bar for the sharded catalog is goroutines=GOMAXPROCS reaching
+// ≥3× the ops/sec of the pre-refactor global-lock path.
+func BenchmarkObserveParallel(b *testing.B) {
+	seen := make(map[int]bool)
+	for _, g := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		if g < 1 || seen[g] {
+			continue
+		}
+		seen[g] = true
+		g := g
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			benchObserve(b, g)
+		})
+	}
+}
+
+// BenchmarkObserveDuringMaintain measures ingest latency while maintenance
+// (re-cluster + retrain) runs continuously in the background — the paper's
+// §3 requirement that ingest stay off the critical path. Under the old
+// global RWMutex every observation stalled for the entire retrain; with the
+// striped catalog and copy-on-write epochs it only contends for one stripe
+// lock held for the fold.
+func BenchmarkObserveDuringMaintain(b *testing.B) {
+	f := New(Config{Model: "LR", Horizons: []time.Duration{time.Hour}, Seed: 1})
+	w := workload.BusTracker(1)
+	to := w.Start.Add(3 * 24 * time.Hour)
+	err := w.Replay(w.Start, to, 10*time.Minute, func(ev workload.Event) error {
+		return f.ObserveBatch(ev.SQL, ev.At, ev.Count)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Maintain(to); err != nil {
+		b.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := f.Maintain(to.Add(time.Duration(i+1) * time.Second)); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ts := to.Add(time.Duration(i%3600) * time.Second)
+		if err := f.ObserveBatch("SELECT a, b FROM hot WHERE x = 1 AND y = 2", ts, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+}
 
 // BenchmarkReplayIngest measures full trace replay through the public API.
 func BenchmarkReplayIngest(b *testing.B) {

@@ -35,6 +35,7 @@ func main() {
 		horizon   = flag.Duration("horizon", time.Hour, "prediction horizon")
 		model     = flag.String("model", "LR", "forecast model: LR|KR|ARMA|FNN|RNN|PSRNN|ENSEMBLE|HYBRID")
 		seed      = flag.Int64("seed", 1, "random seed")
+		shards    = flag.Int("shards", 1, "catalog lock stripes, rounded up to a power of two (0 = all cores, 1 = reproducible sequential IDs)")
 		topN      = flag.Int("top", 10, "templates to print")
 		savePath  = flag.String("save", "", "write a catalog snapshot to this file after ingesting")
 		loadPath  = flag.String("load", "", "restore the catalog from a snapshot before ingesting")
@@ -56,6 +57,7 @@ func main() {
 		Model:    *model,
 		Horizons: []time.Duration{*horizon},
 		Seed:     *seed,
+		Shards:   *shards,
 	}
 	var f *qb5000.Forecaster
 	if *loadPath != "" {
@@ -89,8 +91,14 @@ func main() {
 		if to.After(wl.End) {
 			to = wl.End
 		}
-		err := wl.Replay(wl.Start, to, 5*time.Minute, func(ev workload.Event) error {
-			return f.ObserveBatch(ev.SQL, ev.At, ev.Count)
+		obs := make([]qb5000.Observation, 0, ingestChunk)
+		err := wl.ReplayBatches(wl.Start, to, 5*time.Minute, ingestChunk, func(evs []workload.Event) error {
+			obs = obs[:0]
+			for _, ev := range evs {
+				obs = append(obs, qb5000.Observation{SQL: ev.SQL, At: ev.At, Count: ev.Count})
+			}
+			f.ObserveMany(obs)
+			return nil
 		})
 		if err != nil {
 			fatal(err)
@@ -184,6 +192,10 @@ func dumpTrace(name string, seed int64, days int, path string) (err error) {
 	return tw.Flush()
 }
 
+// ingestChunk is how many trace entries accumulate before they flush through
+// ObserveMany in one batch of stripe-lock acquisitions.
+const ingestChunk = 1024
+
 func ingestFile(f *qb5000.Forecaster, path string) (time.Time, error) {
 	file, err := os.Open(path)
 	if err != nil {
@@ -191,16 +203,29 @@ func ingestFile(f *qb5000.Forecaster, path string) (time.Time, error) {
 	}
 	defer file.Close()
 	var last time.Time
-	err = tracefile.Read(file, func(e tracefile.Entry) error {
-		if err := f.ObserveBatch(e.SQL, e.At, e.Count); err != nil {
-			fmt.Fprintf(os.Stderr, "warning: %s: %v\n", path, err)
-			return nil
+	var rejected int64
+	batch := make([]qb5000.Observation, 0, ingestChunk)
+	flush := func() {
+		if len(batch) == 0 {
+			return
 		}
+		rejected += f.ObserveMany(batch).Rejected
+		batch = batch[:0]
+	}
+	err = tracefile.Read(file, func(e tracefile.Entry) error {
+		batch = append(batch, qb5000.Observation{SQL: e.SQL, At: e.At, Count: e.Count})
 		if e.At.After(last) {
 			last = e.At
 		}
+		if len(batch) >= ingestChunk {
+			flush()
+		}
 		return nil
 	})
+	flush()
+	if rejected > 0 {
+		fmt.Fprintf(os.Stderr, "warning: %s: %d queries rejected (unparseable or negative count)\n", path, rejected)
+	}
 	return last, err
 }
 

@@ -43,6 +43,7 @@ func main() {
 		model       = flag.String("model", "HYBRID", "forecast model family")
 		seed        = flag.Int64("seed", 1, "random seed")
 		parallelism = flag.Int("parallelism", 0, "worker pool size for clustering/training (0 = all cores, 1 = sequential)")
+		shards      = flag.Int("shards", 0, "catalog lock stripes, rounded up to a power of two (0 = all cores, 1 = reproducible sequential IDs)")
 		maintain    = flag.Duration("maintain-every", 0, "periodic re-cluster + retrain cadence (0 disables the background loop)")
 		loadPath    = flag.String("load", "", "restore the catalog from a snapshot at startup")
 	)
@@ -56,6 +57,7 @@ func main() {
 		Horizons:    []time.Duration{*horizon},
 		Seed:        *seed,
 		Parallelism: *parallelism,
+		Shards:      *shards,
 	}
 	var f *qb5000.Forecaster
 	if *loadPath != "" {

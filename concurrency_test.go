@@ -1,12 +1,17 @@
 package qb5000
 
 import (
+	"bytes"
 	"context"
 	"errors"
+	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"qb5000/internal/leakcheck"
 	"qb5000/internal/workload"
 )
 
@@ -125,6 +130,140 @@ func TestConcurrentMaintainAndForecast(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
+}
+
+// TestShardedIngestStress is the tentpole's race gate: P ingest goroutines
+// hammer ObserveMany against the striped catalog while one goroutine runs
+// Tick in a loop (epoch republication) and readers pull Forecast, Stats,
+// and Templates continuously. Run under -race in CI. The query accounting
+// must come out exact — stripe merging may not lose or double-count — and
+// the whole storm may not leak a goroutine.
+func TestShardedIngestStress(t *testing.T) {
+	leakcheck.Check(t, func() {
+		f, to := replayForecaster(t, Config{
+			Model:       "LR",
+			Horizons:    []time.Duration{time.Hour},
+			Seed:        11,
+			Parallelism: 2,
+			// Shards: 0 → GOMAXPROCS stripes, the contended default.
+		})
+		baseline := f.Stats().TotalQueries
+
+		ingesters := runtime.GOMAXPROCS(0)
+		if ingesters < 2 {
+			ingesters = 2
+		}
+		const batches, perBatch = 20, 32
+		var ingested atomic.Int64
+		var loops, ing sync.WaitGroup
+		stop := make(chan struct{})
+
+		// Readers: forecasts and stats must never block on ingest or Tick.
+		for g := 0; g < 2; g++ {
+			loops.Add(1)
+			go func() {
+				defer loops.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, err := f.Forecast(time.Hour); err != nil {
+						t.Errorf("forecast during storm: %v", err)
+						return
+					}
+					f.Stats()
+					f.Templates()
+				}
+			}()
+		}
+
+		// Maintenance: re-cluster and republish epochs mid-storm.
+		loops.Add(1)
+		go func() {
+			defer loops.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := f.Maintain(to.Add(time.Duration(i+1) * time.Minute)); err != nil {
+					t.Errorf("maintain during storm: %v", err)
+					return
+				}
+			}
+		}()
+
+		// Ingesters: distinct and shared templates, all stripes touched.
+		for g := 0; g < ingesters; g++ {
+			ing.Add(1)
+			go func(g int) {
+				defer ing.Done()
+				for b := 0; b < batches; b++ {
+					obs := make([]Observation, 0, perBatch)
+					at := to.Add(time.Duration(b) * time.Minute)
+					for i := 0; i < perBatch; i++ {
+						obs = append(obs, Observation{
+							SQL:   fmt.Sprintf("SELECT v FROM storm%d WHERE k = %d", (g+i)%7, i),
+							At:    at,
+							Count: int64(1 + i%3),
+						})
+					}
+					res := f.ObserveMany(obs)
+					if res.Rejected != 0 {
+						t.Errorf("goroutine %d: %d rejected", g, res.Rejected)
+						return
+					}
+					ingested.Add(res.Ingested)
+				}
+			}(g)
+		}
+
+		ing.Wait()
+		close(stop)
+		loops.Wait()
+
+		if got, want := f.Stats().TotalQueries, baseline+ingested.Add(0); got != want {
+			t.Fatalf("TotalQueries = %d, want %d (stripe merge lost/double-counted)", got, want)
+		}
+		if err := f.Maintain(to.Add(time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Forecast(time.Hour); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestSaveBytesIdenticalAcrossShards pins the catalog determinism contract
+// at the public API: Save emits byte-identical snapshots whether ingest ran
+// over 1, 2, or 8 stripes.
+func TestSaveBytesIdenticalAcrossShards(t *testing.T) {
+	var ref []byte
+	for _, shards := range []int{1, 2, 8} {
+		f := New(Config{Model: "LR", Horizons: []time.Duration{time.Hour}, Seed: 5, Shards: shards})
+		w := workload.BusTracker(5)
+		to := w.Start.Add(24 * time.Hour)
+		err := w.Replay(w.Start, to, 10*time.Minute, func(ev workload.Event) error {
+			return f.ObserveBatch(ev.SQL, ev.At, ev.Count)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := f.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(ref, buf.Bytes()) {
+			t.Fatalf("shards=%d: Save bytes differ from shards=1 (%d vs %d bytes)", shards, buf.Len(), len(ref))
+		}
+	}
 }
 
 // TestMaintainContextCancellation verifies a cancelled context aborts the

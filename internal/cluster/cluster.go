@@ -86,6 +86,18 @@ type Cluster struct {
 // Size returns the number of member templates.
 func (c *Cluster) Size() int { return len(c.Members) }
 
+// Snapshot returns a copy of the cluster with fresh maps, so a published
+// forecasting epoch is immune to later Update passes mutating membership in
+// place. The member templates themselves are the immutable clones the
+// catalog handed to Update, so sharing them is safe.
+func (c *Cluster) Snapshot() *Cluster {
+	members := make(map[int64]*preprocess.Template, len(c.Members))
+	for id, t := range c.Members {
+		members[id] = t
+	}
+	return &Cluster{ID: c.ID, Members: members, center: append([]float64(nil), c.center...)}
+}
+
 // MemberIDs returns the sorted member template IDs.
 func (c *Cluster) MemberIDs() []int64 {
 	out := make([]int64, 0, len(c.Members))
@@ -181,6 +193,15 @@ func (c *Clusterer) Update(ctx context.Context, now time.Time, templates []*prep
 		delete(c.assignment, id)
 		res.Removed++
 		res.Changed = true
+	}
+
+	// Re-point surviving members at this round's template objects: callers
+	// pass freshly cloned catalog snapshots, so keeping last round's
+	// pointers would freeze Volume/CenterSeries at stale histories.
+	for id, cid := range c.assignment {
+		if t, ok := live[id]; ok {
+			c.clusters[cid].Members[id] = t
+		}
 	}
 
 	// Compute this round's features for every live template.

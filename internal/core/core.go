@@ -3,6 +3,15 @@
 // the Clusterer periodically regroups templates by arrival-rate similarity;
 // the Forecaster trains one model per prediction horizon on the largest
 // clusters and answers arrival-rate predictions for the planning module.
+//
+// The controller is safe for concurrent use and keeps ingest off the DBMS's
+// critical path: Ingest/IngestMany go straight to the sharded catalog's
+// stripe locks, maintenance (Tick/Refresh) serializes behind its own mutex
+// and builds clusters and models against cloned catalog snapshots off to
+// the side, and the finished result is published as an immutable epoch
+// swapped in through one atomic pointer. Forecast and the read accessors
+// load the current epoch without blocking, so a retrain never stalls either
+// ingestion or predictions.
 package core
 
 import (
@@ -11,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"qb5000/internal/cluster"
@@ -68,6 +79,11 @@ type Config struct {
 	// sequential path. Per-model seeds are derived deterministically from
 	// Seed, so results are bit-identical at every setting.
 	Parallelism int
+	// Shards is the template catalog's lock-stripe count (rounded up to a
+	// power of two; 0 selects GOMAXPROCS rounded up). Template IDs depend
+	// on the stripe count, so pin Shards to 1 when cross-machine
+	// reproducibility of IDs matters (the experiment harnesses do).
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -111,23 +127,54 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// epoch is one immutable published snapshot of the derived state: the
+// tracked clusters (cluster snapshots over cloned templates), the trained
+// models, and the training-time forecast cap. Epochs are built off to the
+// side by the maintenance path and swapped in atomically; readers treat
+// every field as read-only. Models are shared across epochs — Predict is
+// already safe for concurrent use.
+type epoch struct {
+	// tracked are the modeled clusters, highest volume first.
+	tracked []*cluster.Cluster
+	// models maps each horizon to its trained model.
+	models map[time.Duration]forecast.Model
+	// maxTrainLog caps forecasts: no prediction may exceed e× the largest
+	// arrival rate seen during training (in log space, +1). Models
+	// extrapolating across a workload shift can otherwise emit absurd
+	// volumes that would mislead the planning module.
+	maxTrainLog float64
+	// builtAt is the maintenance timestamp that produced this epoch.
+	builtAt time.Time
+}
+
 // Controller is the QB5000 framework instance.
 type Controller struct {
 	cfg Config
 	pre *preprocess.Preprocessor
 	clu *cluster.Clusterer
 
-	tracked     []*cluster.Cluster // modeled clusters, highest volume first
-	models      map[time.Duration]forecast.Model
+	// maintainMu serializes the maintenance path (Tick/Refresh). Ingest
+	// and the read accessors never take it.
+	maintainMu sync.Mutex
+	// lastCluster is the last maintenance timestamp.
+	// qb5000:guardedby maintainMu
 	lastCluster time.Time
-	lastSeen    time.Time
-	firstSeen   time.Time
-	trainCount  int // how many times models were (re)trained
-	// maxTrainLog caps forecasts: no prediction may exceed e× the largest
-	// arrival rate seen during training (in log space, +1). Models
-	// extrapolating across a workload shift can otherwise emit absurd
-	// volumes that would mislead the planning module.
-	maxTrainLog float64
+
+	// cur is the atomically published current epoch; nil until the first
+	// successful maintenance pass.
+	// qb5000:guardedby atomic
+	cur atomic.Pointer[epoch]
+
+	// trainCount counts completed model (re)trains.
+	// qb5000:guardedby atomic
+	trainCount atomic.Int64
+
+	// lastSeenNS/firstSeenNS bound the ingested timestamps in Unix
+	// nanoseconds (0 = nothing ingested yet). They are CAS max/min loops so
+	// concurrent ingest needs no lock; the helpers take them by pointer,
+	// which is why they carry no atomic annotation.
+	lastSeenNS  atomic.Int64
+	firstSeenNS atomic.Int64
 }
 
 // New creates a controller.
@@ -135,7 +182,7 @@ func New(cfg Config) *Controller {
 	cfg = cfg.withDefaults()
 	return &Controller{
 		cfg: cfg,
-		pre: preprocess.New(preprocess.Options{Seed: cfg.Seed, EvictAfter: cfg.EvictAfter}),
+		pre: preprocess.New(preprocess.Options{Seed: cfg.Seed, EvictAfter: cfg.EvictAfter, Shards: cfg.Shards}),
 		clu: cluster.New(cluster.Options{
 			Rho:         cfg.Rho,
 			Seed:        cfg.Seed + 1,
@@ -143,53 +190,126 @@ func New(cfg Config) *Controller {
 			FeatureSize: cfg.FeatureSize,
 			Parallelism: cfg.Parallelism,
 		}),
-		models: make(map[time.Duration]forecast.Model),
 	}
 }
 
+// storeMaxNS CAS-raises a to ns; 0 means "unset" and always loses.
+func storeMaxNS(a *atomic.Int64, ns int64) {
+	for {
+		cur := a.Load()
+		if cur != 0 && ns <= cur {
+			return
+		}
+		if a.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// storeMinNS CAS-lowers a to ns; 0 means "unset" and always loses.
+func storeMinNS(a *atomic.Int64, ns int64) {
+	for {
+		cur := a.Load()
+		if cur != 0 && ns >= cur {
+			return
+		}
+		if a.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// noteSeen advances the ingest clock bounds.
+func (c *Controller) noteSeen(at time.Time) {
+	if at.IsZero() {
+		return
+	}
+	ns := at.UnixNano()
+	storeMaxNS(&c.lastSeenNS, ns)
+	storeMinNS(&c.firstSeenNS, ns)
+}
+
 // Ingest forwards one query observation (with an arrival count, for batched
-// replay) into the Pre-Processor.
+// replay) into the Pre-Processor. It contends only on the catalog stripe
+// the query's template hashes to, never on maintenance.
 func (c *Controller) Ingest(sql string, at time.Time, count int64) error {
-	if at.After(c.lastSeen) {
-		c.lastSeen = at
-	}
-	if c.firstSeen.IsZero() || at.Before(c.firstSeen) {
-		c.firstSeen = at
-	}
+	c.noteSeen(at)
 	_, err := c.pre.ProcessBatch(sql, at, count)
 	return err
 }
 
-// Preprocessor exposes the template catalog.
+// IngestMany forwards a batch of observations, parsing lock-free and taking
+// each catalog stripe's lock once. It returns query-weighted counts of how
+// much folded and how much was rejected (unparseable SQL or negative
+// counts).
+func (c *Controller) IngestMany(obs []preprocess.Observation) (ingested, rejected int64) {
+	for i := range obs {
+		c.noteSeen(obs[i].At)
+	}
+	return c.pre.ProcessMany(obs)
+}
+
+// Preprocessor exposes the template catalog (itself safe for concurrent
+// use).
 func (c *Controller) Preprocessor() *preprocess.Preprocessor { return c.pre }
 
-// Clusterer exposes the clustering state.
+// Clusterer exposes the clustering state (itself safe for concurrent use).
 func (c *Controller) Clusterer() *cluster.Clusterer { return c.clu }
 
-// Tracked returns the clusters currently being modeled, largest first.
-func (c *Controller) Tracked() []*cluster.Cluster { return c.tracked }
+// Tracked returns the clusters modeled by the current epoch, largest first.
+// The returned clusters are immutable snapshots; callers may read them
+// without synchronization.
+func (c *Controller) Tracked() []*cluster.Cluster {
+	ep := c.cur.Load()
+	if ep == nil {
+		return nil
+	}
+	return ep.tracked
+}
 
 // TrainCount reports how many times the forecasting models have been
 // (re)trained; every cluster-assignment change forces a retrain (§3).
-func (c *Controller) TrainCount() int { return c.trainCount }
+func (c *Controller) TrainCount() int { return int(c.trainCount.Load()) }
 
 // LastSeen returns the most recent ingested timestamp (the controller's
 // notion of "now" during trace replay).
-func (c *Controller) LastSeen() time.Time { return c.lastSeen }
+func (c *Controller) LastSeen() time.Time {
+	ns := c.lastSeenNS.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns).UTC()
+}
+
+// firstSeen returns the earliest ingested timestamp, or the zero time.
+func (c *Controller) firstSeen() time.Time {
+	ns := c.firstSeenNS.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns).UTC()
+}
 
 // Tick performs due maintenance at the (simulated or wall-clock) time now:
 // history compaction, periodic re-clustering, the early re-cluster trigger
 // on new-template share, and model retraining whenever assignments changed.
 // It returns whether a re-cluster ran. Cancelling ctx aborts the clustering
 // and training work between pool items; the controller keeps its previous
-// models and cluster state is refreshed by the next pass.
+// epoch and cluster state is refreshed by the next pass. Concurrent Tick
+// and Refresh calls serialize behind the maintenance mutex; ingest and
+// Forecast never wait on them.
 func (c *Controller) Tick(ctx context.Context, now time.Time) (bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.maintainMu.Lock()
+	defer c.maintainMu.Unlock()
 	due := now.Sub(c.lastCluster) >= c.cfg.ClusterEvery
 	trigger := c.pre.NewTemplateRatio() > c.cfg.NewTemplateTrigger && c.pre.Len() > 0
 	if !due && !trigger {
 		return false, nil
 	}
-	return true, c.Refresh(ctx, now)
+	return true, c.refreshLocked(ctx, now)
 }
 
 // Refresh forces a full re-cluster and model retrain. The paper's framework
@@ -200,6 +320,18 @@ func (c *Controller) Refresh(ctx context.Context, now time.Time) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	c.maintainMu.Lock()
+	defer c.maintainMu.Unlock()
+	return c.refreshLocked(ctx, now)
+}
+
+// refreshLocked is the maintenance pass body. It works entirely against a
+// cloned catalog snapshot: ingestion keeps folding into the stripes while
+// clustering and training run, and the finished epoch is published
+// atomically at the end.
+//
+// qb5000:locked maintainMu
+func (c *Controller) refreshLocked(ctx context.Context, now time.Time) error {
 	c.pre.Maintain(now)
 	if _, err := c.clu.Update(ctx, now, c.pre.Templates()); err != nil {
 		return err
@@ -209,32 +341,52 @@ func (c *Controller) Refresh(ctx context.Context, now time.Time) error {
 	return c.retrain(ctx, now)
 }
 
-// retrain rebuilds the tracked-cluster set and fits one model per horizon.
-// The per-horizon fits — the hottest path in the framework (Table 4: RNN
-// training dominates) — run on the worker pool. Every horizon's model seeds
-// from Config.Seed plus the horizon, exactly as the sequential path always
-// did, and each worker writes only its own result slot, so the trained
-// models are bit-identical at every Parallelism setting.
+// retrain rebuilds the tracked-cluster set, fits one model per horizon, and
+// publishes the result as a new epoch. The per-horizon fits — the hottest
+// path in the framework (Table 4: RNN training dominates) — run on the
+// worker pool. Every horizon's model seeds from Config.Seed plus the
+// horizon, exactly as the sequential path always did, and each worker
+// writes only its own result slot, so the trained models are bit-identical
+// at every Parallelism setting. On error nothing is published and the
+// previous epoch stays live; horizons whose fit was skipped for lack of
+// history carry the previous epoch's model forward.
+//
+// qb5000:locked maintainMu
 func (c *Controller) retrain(ctx context.Context, now time.Time) error {
-	c.selectTracked(now)
-	if len(c.tracked) == 0 {
+	prev := c.cur.Load()
+	next := &epoch{
+		tracked: c.selectTracked(now),
+		models:  make(map[time.Duration]forecast.Model, len(c.cfg.Horizons)),
+		builtAt: now,
+	}
+	if prev != nil {
+		next.maxTrainLog = prev.maxTrainLog
+		for h, m := range prev.models {
+			next.models[h] = m
+		}
+	}
+	if len(next.tracked) == 0 {
+		c.cur.Store(next)
 		return nil
 	}
-	hist := c.historyMatrix(now)
+	hist := c.historyMatrix(now, next.tracked)
 	if hist.Rows < 4 {
-		return nil // not enough history yet; keep previous models
+		// Not enough history yet; publish the new tracked set with the
+		// previous models.
+		c.cur.Store(next)
+		return nil
 	}
-	c.maxTrainLog = 0
+	maxLog := 0.0
 	for _, v := range hist.Data {
-		if v > c.maxTrainLog {
-			c.maxTrainLog = v
+		if v > maxLog {
+			maxLog = v
 		}
 	}
 	// The HYBRID spike history is shared read-only by every horizon's fit;
 	// build it once instead of per horizon.
 	var spikeHist *mat.Matrix
 	if c.cfg.Model == "HYBRID" {
-		spikeHist = c.fullHourlyMatrix(now)
+		spikeHist = fullHourlyMatrix(now, next.tracked)
 	}
 	fitted := make([]forecast.Model, len(c.cfg.Horizons))
 	err := parallel.ForEach(ctx, c.cfg.Parallelism, len(c.cfg.Horizons), func(_ context.Context, i int) error {
@@ -246,7 +398,7 @@ func (c *Controller) retrain(ctx context.Context, now time.Time) error {
 		cfg := forecast.Config{
 			Lag:       c.lagIntervals(),
 			Horizon:   horizon,
-			Outputs:   len(c.tracked),
+			Outputs:   len(next.tracked),
 			Seed:      c.cfg.Seed + int64(h/time.Minute),
 			Epochs:    c.cfg.Epochs,
 			LearnRate: c.cfg.LearnRate,
@@ -274,19 +426,23 @@ func (c *Controller) retrain(ctx context.Context, now time.Time) error {
 		return nil
 	})
 	if err != nil {
+		// Abort without publishing: the previous epoch (and its models)
+		// stays live, so a cancelled pass never leaves half-trained state.
 		return err
 	}
+	next.maxTrainLog = maxLog
 	trained := false
 	for i, h := range c.cfg.Horizons {
 		if fitted[i] == nil {
 			continue
 		}
-		c.models[h] = fitted[i]
+		next.models[h] = fitted[i]
 		trained = true
 	}
 	if trained {
-		c.trainCount++
+		c.trainCount.Add(1)
 	}
+	c.cur.Store(next)
 	return nil
 }
 
@@ -305,8 +461,11 @@ func (c *Controller) lagIntervals() int {
 }
 
 // selectTracked picks the highest-volume clusters covering the target
-// fraction of the last day's workload, capped at MaxClusters.
-func (c *Controller) selectTracked(now time.Time) {
+// fraction of the last day's workload, capped at MaxClusters, and snapshots
+// them so the epoch is immune to the clusterer's next in-place Update.
+//
+// qb5000:locked maintainMu
+func (c *Controller) selectTracked(now time.Time) []*cluster.Cluster {
 	window := 24 * time.Hour
 	clusters := c.clu.Clusters(now, window)
 	var total float64
@@ -315,28 +474,29 @@ func (c *Controller) selectTracked(now time.Time) {
 		vols[i] = c.clu.Volume(cl, now, window)
 		total += vols[i]
 	}
-	c.tracked = c.tracked[:0]
+	var tracked []*cluster.Cluster
 	var covered float64
 	for i, cl := range clusters {
-		if len(c.tracked) >= c.cfg.MaxClusters {
+		if len(tracked) >= c.cfg.MaxClusters {
 			break
 		}
-		c.tracked = append(c.tracked, cl)
+		tracked = append(tracked, cl.Snapshot())
 		covered += vols[i]
 		if total > 0 && covered/total >= c.cfg.CoverageTarget {
 			break
 		}
 	}
+	return tracked
 }
 
 // historyMatrix builds the training matrix: rows are intervals over the
 // training window, columns are tracked clusters, values are log1p of the
 // cluster-center (per-template average) arrival rate per interval.
-func (c *Controller) historyMatrix(now time.Time) *mat.Matrix {
+func (c *Controller) historyMatrix(now time.Time, tracked []*cluster.Cluster) *mat.Matrix {
 	from := now.Add(-c.cfg.TrainWindow).Truncate(c.cfg.Interval)
 	// Never train on fabricated zeros from before the first observation.
-	if !c.firstSeen.IsZero() {
-		if fs := c.firstSeen.Truncate(c.cfg.Interval); fs.After(from) {
+	if first := c.firstSeen(); !first.IsZero() {
+		if fs := first.Truncate(c.cfg.Interval); fs.After(from) {
 			from = fs
 		}
 	}
@@ -345,8 +505,8 @@ func (c *Controller) historyMatrix(now time.Time) *mat.Matrix {
 	if rows < 0 {
 		rows = 0
 	}
-	m := mat.New(rows, len(c.tracked))
-	for j, cl := range c.tracked {
+	m := mat.New(rows, len(tracked))
+	for j, cl := range tracked {
 		s := cluster.CenterSeries(cl, from, to, c.cfg.Interval)
 		for i := 0; i < rows && i < s.Len(); i++ {
 			m.Set(i, j, timeseries.Log1pClamped(s.Data[i]))
@@ -357,12 +517,12 @@ func (c *Controller) historyMatrix(now time.Time) *mat.Matrix {
 
 // fullHourlyMatrix builds the entire-history hourly matrix the HYBRID spike
 // model trains on (§6.2).
-func (c *Controller) fullHourlyMatrix(now time.Time) *mat.Matrix {
-	if len(c.tracked) == 0 {
+func fullHourlyMatrix(now time.Time, tracked []*cluster.Cluster) *mat.Matrix {
+	if len(tracked) == 0 {
 		return mat.New(0, 0)
 	}
 	var from time.Time
-	for _, cl := range c.tracked {
+	for _, cl := range tracked {
 		for _, t := range cl.Members {
 			start := t.History.Coarse().Start
 			if t.History.Coarse().Len() == 0 {
@@ -374,15 +534,15 @@ func (c *Controller) fullHourlyMatrix(now time.Time) *mat.Matrix {
 		}
 	}
 	if from.IsZero() {
-		return mat.New(0, len(c.tracked))
+		return mat.New(0, len(tracked))
 	}
 	to := now.Truncate(time.Hour)
 	rows := int(to.Sub(from) / time.Hour)
 	if rows < 0 {
 		rows = 0
 	}
-	m := mat.New(rows, len(c.tracked))
-	for j, cl := range c.tracked {
+	m := mat.New(rows, len(tracked))
+	for j, cl := range tracked {
 		if len(cl.Members) == 0 {
 			continue
 		}
@@ -402,7 +562,9 @@ func (c *Controller) fullHourlyMatrix(now time.Time) *mat.Matrix {
 
 // ClusterForecast is the prediction for one tracked cluster.
 type ClusterForecast struct {
-	// Cluster is the forecasted cluster.
+	// Cluster is the forecasted cluster, with members resolved against the
+	// latest catalog histories at forecast time. It is a snapshot private
+	// to this call; callers may read it without synchronization.
 	Cluster *cluster.Cluster
 	// PerTemplateRate is the predicted average arrival rate of the
 	// cluster's templates, in queries per interval.
@@ -413,21 +575,30 @@ type ClusterForecast struct {
 }
 
 // Forecast predicts the workload `horizon` into the future from the most
-// recent data (§3: predictions always use the latest history as input).
+// recent data (§3: predictions always use the latest history as input). It
+// reads the current epoch's models without blocking — maintenance and
+// ingest keep running — and resolves the tracked clusters' member
+// histories against the live catalog in one pass, so the model input
+// reflects arrivals ingested since the epoch was built.
 func (c *Controller) Forecast(horizon time.Duration) ([]ClusterForecast, error) {
-	m, ok := c.models[horizon]
+	ep := c.cur.Load()
+	if ep == nil {
+		return nil, fmt.Errorf("core: no model trained for horizon %v", horizon)
+	}
+	m, ok := ep.models[horizon]
 	if !ok {
 		return nil, fmt.Errorf("core: no model trained for horizon %v", horizon)
 	}
-	now := c.lastSeen.Truncate(c.cfg.Interval)
-	recent := c.recentMatrix(now)
+	now := c.LastSeen().Truncate(c.cfg.Interval)
+	live := c.liveTracked(ep)
+	recent := recentMatrix(now, live, c.lagIntervals(), c.cfg.Interval)
 	pred, err := m.Predict(recent)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]ClusterForecast, 0, len(c.tracked))
-	cap := c.maxTrainLog + 1
-	for j, cl := range c.tracked {
+	out := make([]ClusterForecast, 0, len(live))
+	cap := ep.maxTrainLog + 1
+	for j, cl := range live {
 		p := pred[j]
 		if p > cap {
 			p = cap
@@ -442,14 +613,37 @@ func (c *Controller) Forecast(horizon time.Duration) ([]ClusterForecast, error) 
 	return out, nil
 }
 
+// liveTracked re-points the epoch's tracked clusters at fresh clones of
+// their member templates, fetched from the catalog in a single pass
+// (one stripe lock each instead of one catalog lock per member). Members
+// evicted from the catalog since the epoch was built keep their
+// epoch-frozen clone.
+func (c *Controller) liveTracked(ep *epoch) []*cluster.Cluster {
+	var ids []int64
+	for _, cl := range ep.tracked {
+		ids = append(ids, cl.MemberIDs()...)
+	}
+	fresh := c.pre.CloneByID(ids)
+	out := make([]*cluster.Cluster, 0, len(ep.tracked))
+	for _, cl := range ep.tracked {
+		live := cl.Snapshot()
+		for id := range live.Members {
+			if t, ok := fresh[id]; ok {
+				live.Members[id] = t
+			}
+		}
+		out = append(out, live)
+	}
+	return out
+}
+
 // recentMatrix assembles the model input: the last lag intervals ending at
 // now.
-func (c *Controller) recentMatrix(now time.Time) *mat.Matrix {
-	lag := c.lagIntervals()
-	from := now.Add(-time.Duration(lag) * c.cfg.Interval)
-	m := mat.New(lag, len(c.tracked))
-	for j, cl := range c.tracked {
-		s := cluster.CenterSeries(cl, from, now, c.cfg.Interval)
+func recentMatrix(now time.Time, tracked []*cluster.Cluster, lag int, interval time.Duration) *mat.Matrix {
+	from := now.Add(-time.Duration(lag) * interval)
+	m := mat.New(lag, len(tracked))
+	for j, cl := range tracked {
+		s := cluster.CenterSeries(cl, from, now, interval)
 		for i := 0; i < lag && i < s.Len(); i++ {
 			m.Set(i, j, timeseries.Log1pClamped(s.Data[i]))
 		}
@@ -469,26 +663,26 @@ func (c *Controller) Snapshot(w io.Writer) error {
 // let Tick fire) to rebuild it from the restored histories.
 func RestoreController(cfg Config, r io.Reader) (*Controller, error) {
 	c := New(cfg)
-	pre, err := preprocess.RestoreSnapshot(r)
+	pre, err := preprocess.RestoreSnapshotShards(r, c.cfg.Shards)
 	if err != nil {
 		return nil, err
 	}
 	c.pre = pre
 	for _, t := range pre.Templates() {
-		if t.LastSeen.After(c.lastSeen) {
-			c.lastSeen = t.LastSeen
-		}
-		if c.firstSeen.IsZero() || t.FirstSeen.Before(c.firstSeen) {
-			c.firstSeen = t.FirstSeen
-		}
+		c.noteSeen(t.FirstSeen)
+		c.noteSeen(t.LastSeen)
 	}
 	return c, nil
 }
 
 // Horizons lists the horizons with trained models, sorted ascending.
 func (c *Controller) Horizons() []time.Duration {
-	out := make([]time.Duration, 0, len(c.models))
-	for h := range c.models {
+	ep := c.cur.Load()
+	if ep == nil {
+		return nil
+	}
+	out := make([]time.Duration, 0, len(ep.models))
+	for h := range ep.models {
 		out = append(out, h)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })

@@ -183,6 +183,7 @@ func runIndexPolicy(opt Options, name string, pol indexPolicy, p autoIndexParams
 		Horizons:    []time.Duration{time.Hour, 12 * time.Hour},
 		FeatureMode: mode,
 		Seed:        seed,
+		Shards:      1, // reproducible template IDs in experiment output
 	})
 	err := wl.Replay(histFrom, expStart, 10*time.Minute, func(ev workload.Event) error {
 		return ctl.Ingest(ev.SQL, ev.At, ev.Count)

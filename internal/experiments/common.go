@@ -24,18 +24,31 @@ func traces(seed int64) []*workload.Workload {
 }
 
 // replayInto feeds [from, to) of the workload into a fresh Pre-Processor at
-// the given emission step.
+// the given emission step. The catalog is pinned to one stripe so template
+// IDs in experiment output are reproducible across machines regardless of
+// GOMAXPROCS.
 func replayInto(w *workload.Workload, from, to time.Time, step time.Duration, seed int64) (*preprocess.Preprocessor, error) {
-	pre := preprocess.New(preprocess.Options{Seed: seed})
-	err := w.Replay(from, to, step, func(ev workload.Event) error {
-		_, err := pre.ProcessBatch(ev.SQL, ev.At, ev.Count)
-		return err
+	pre := preprocess.New(preprocess.Options{Seed: seed, Shards: 1})
+	obs := make([]preprocess.Observation, 0, replayChunk)
+	err := w.ReplayBatches(from, to, step, replayChunk, func(evs []workload.Event) error {
+		obs = obs[:0]
+		for _, ev := range evs {
+			obs = append(obs, preprocess.Observation{SQL: ev.SQL, At: ev.At, Count: ev.Count})
+		}
+		if _, rejected := pre.ProcessMany(obs); rejected != 0 {
+			return fmt.Errorf("experiments: %d queries rejected replaying %s", rejected, w.Name)
+		}
+		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	return pre, nil
 }
+
+// replayChunk is the replay→ingest batch size: one stripe-lock acquisition
+// per chunk rather than per event.
+const replayChunk = 1024
 
 // clusteredTrace is a replayed, clustered view of a workload slice.
 type clusteredTrace struct {
@@ -49,7 +62,7 @@ type clusteredTrace struct {
 // buildClusters replays [from, to) and runs daily incremental clustering
 // passes so cluster evolution matches the on-line protocol (§7.1).
 func buildClusters(w *workload.Workload, from, to time.Time, step time.Duration, rho float64, mode cluster.FeatureMode, seed int64) (*clusteredTrace, error) {
-	pre := preprocess.New(preprocess.Options{Seed: seed})
+	pre := preprocess.New(preprocess.Options{Seed: seed, Shards: 1})
 	clu := cluster.New(cluster.Options{Rho: rho, Seed: seed + 1, Mode: mode})
 	ctx := context.Background()
 	nextUpdate := from.Add(24 * time.Hour)

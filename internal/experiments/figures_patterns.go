@@ -59,7 +59,7 @@ func fig1(opt Options, w io.Writer) error {
 	if opt.Quick {
 		end = mc.Start.Add(30 * 24 * time.Hour)
 	}
-	pre := preprocess.New(preprocess.Options{Seed: seed})
+	pre := preprocess.New(preprocess.Options{Seed: seed, Shards: 1})
 	day := mc.Start.Add(24 * time.Hour)
 	fmt.Fprintln(w, "(c) MOOC evolution — accumulated distinct templates (per day):")
 	if err := mc.Replay(mc.Start, end, time.Hour, func(ev workload.Event) error {
@@ -157,7 +157,7 @@ func dailyCoverage(wl *workload.Workload, opt Options, rho float64) (map[int]flo
 	if to.Sub(from) > 70*24*time.Hour {
 		from = to.Add(-60 * 24 * time.Hour)
 	}
-	pre := preprocess.New(preprocess.Options{Seed: opt.seed()})
+	pre := preprocess.New(preprocess.Options{Seed: opt.seed(), Shards: 1})
 	clu := cluster.New(cluster.Options{Rho: rho, Seed: opt.seed() + 1})
 
 	covSum := make(map[int]float64)

@@ -35,6 +35,7 @@ func fig17(opt Options, w io.Writer) error {
 		ClusterEvery:       time.Hour,
 		NewTemplateTrigger: 0.2,
 		Seed:               opt.seed(),
+		Shards:             1, // reproducible template IDs in experiment output
 	})
 
 	actual := timeseries.NewSeries(from, time.Hour)

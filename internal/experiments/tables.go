@@ -122,7 +122,7 @@ func table4(opt Options, w io.Writer) error {
 	}
 	//lint:ignore noclock wall-clock timing of this phase is the experiment's measurement
 	start := time.Now()
-	pre2 := preprocess.New(preprocess.Options{Seed: opt.seed()})
+	pre2 := preprocess.New(preprocess.Options{Seed: opt.seed(), Shards: 1})
 	for i, q := range samples {
 		if _, err := pre2.Process(q, from.Add(time.Duration(i)*time.Second)); err != nil {
 			return err

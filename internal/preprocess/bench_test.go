@@ -1,0 +1,35 @@
+package preprocess
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkTemplatize measures the lock-free share of an observe: parsing
+// and templatizing one query. Everything here runs outside any stripe lock.
+func BenchmarkTemplatize(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Templatize("SELECT a, b FROM t1 WHERE x = 1 AND y = 2"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProcessBatchSteadyState measures a full steady-state observe —
+// parse plus the striped fold — for comparison against BenchmarkTemplatize:
+// the difference is the per-op critical section held under a stripe lock.
+func BenchmarkProcessBatchSteadyState(b *testing.B) {
+	p := New(Options{Seed: 1})
+	if _, err := p.Process("SELECT a, b FROM t1 WHERE x = 1 AND y = 2", base); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ts := base.Add(time.Duration(i%3600) * time.Second)
+		if _, err := p.ProcessBatch("SELECT a, b FROM t1 WHERE x = 1 AND y = 2", ts, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -2,8 +2,10 @@ package preprocess
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"qb5000/internal/sqlparse"
@@ -27,22 +29,71 @@ type Options struct {
 	// EvictAfter removes a template whose queries have not been seen for
 	// this long (§5.2 step 2). Zero disables eviction.
 	EvictAfter time.Duration
+	// Shards is the number of catalog stripes, rounded up to a power of
+	// two; 0 selects GOMAXPROCS rounded up. Each stripe has its own mutex,
+	// so ingest from independent connections contends only when two
+	// templates hash to the same stripe. Template IDs encode the stripe in
+	// their low bits, so results are deterministic per (shard count, input
+	// order); Snapshot writes a canonical layout-independent form (see
+	// snapshot.go). Shards=1 reproduces the historical sequential IDs.
+	Shards int
 }
 
 // Preprocessor ingests raw queries and maintains the template catalog. It is
-// safe for concurrent use: the target DBMS forwards queries from its
-// connection handlers while the clusterer reads the catalog periodically.
+// safe for concurrent use and designed to stay off the DBMS's critical path
+// (§3): templatization (parsing) is lock-free, and the catalog is split into
+// hash-striped shards so connection handlers forwarding different templates
+// fold into different stripes without contending. Readers merge the stripes
+// deterministically.
 type Preprocessor struct {
-	mu        sync.RWMutex
-	opts      Options
+	opts Options
+	// shards, shardMask, and shardBits are immutable after New.
+	shards    []catalogShard
+	shardMask uint64
+	shardBits uint
+	// qb5000:guardedby atomic
+	parseErrors atomic.Int64
+}
+
+// catalogShard is one stripe of the template catalog. Templates are assigned
+// to stripes by hashing their semantic key, so a given template lives in
+// exactly one stripe for its whole lifetime (restored snapshots included).
+type catalogShard struct {
+	mu sync.Mutex
+	// idx is the stripe's position, immutable after New; live template IDs
+	// carry it in their low shardBits bits.
+	idx int64
+	// qb5000:guardedby mu
 	templates map[string]*Template // semantic key → template
-	byID      map[int64]*Template
-	nextID    int64
-	stats     Stats
+	// qb5000:guardedby mu
+	byID map[int64]*Template
+	// nextSeq is the stripe-local ID sequence; template ID =
+	// nextSeq<<shardBits | idx.
+	// qb5000:guardedby mu
+	nextSeq int64
+	// qb5000:guardedby mu
+	totalQueries int64
+	// qb5000:guardedby mu
+	byType map[sqlparse.StatementType]int64
 	// newSinceMark counts templates created since the last MarkNewTemplates
 	// call; the clusterer uses the ratio of new templates to trigger
 	// re-clustering (§5.2).
+	// qb5000:guardedby mu
 	newSinceMark int
+}
+
+// shardCount rounds the requested stripe count up to a power of two;
+// non-positive requests select GOMAXPROCS rounded up.
+func shardCount(requested int) int {
+	n := requested
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // New creates a Preprocessor.
@@ -50,22 +101,64 @@ func New(opts Options) *Preprocessor {
 	if opts.ReservoirSize == 0 {
 		opts.ReservoirSize = 64
 	}
-	return &Preprocessor{
+	n := shardCount(opts.Shards)
+	p := &Preprocessor{
 		opts:      opts,
-		templates: make(map[string]*Template),
-		byID:      make(map[int64]*Template),
-		stats:     Stats{ByType: make(map[sqlparse.StatementType]int64)},
+		shards:    make([]catalogShard, n),
+		shardMask: uint64(n - 1),
 	}
+	for 1<<p.shardBits < n {
+		p.shardBits++
+	}
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.idx = int64(i)
+		sh.mu.Lock()
+		sh.templates = make(map[string]*Template)
+		sh.byID = make(map[int64]*Template)
+		sh.byType = make(map[sqlparse.StatementType]int64)
+		sh.mu.Unlock()
+	}
+	return p
+}
+
+// NumShards reports the catalog's stripe count (a power of two).
+func (p *Preprocessor) NumShards() int { return len(p.shards) }
+
+// keyHash is FNV-1a over the semantic key. It picks the stripe and seeds
+// the template's parameter reservoir: both must depend only on the key, not
+// on the stripe layout, so snapshots stay byte-identical across shard
+// counts.
+func keyHash(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// shardIndex hashes a semantic key onto a stripe.
+func (p *Preprocessor) shardIndex(key string) int {
+	return int(keyHash(key) & p.shardMask)
+}
+
+func (p *Preprocessor) shardFor(key string) *catalogShard {
+	return &p.shards[p.shardIndex(key)]
 }
 
 // Process templatizes one raw query observed at time `at` and folds it into
-// the catalog, returning the template it mapped to.
+// the catalog, returning the template it mapped to. The returned pointer is
+// the live catalog object owned by its stripe; callers that read it
+// concurrently with further ingest must use Template/Templates, which return
+// race-free copies.
 func (p *Preprocessor) Process(raw string, at time.Time) (*Template, error) {
 	return p.processN(raw, at, 1)
 }
 
 // ProcessBatch folds `count` identical arrivals of raw at time `at`. Trace
-// replays use this to avoid re-parsing hot queries millions of times.
+// replays use this to avoid re-parsing hot queries millions of times. The
+// returned pointer has the same ownership caveat as Process.
 func (p *Preprocessor) ProcessBatch(raw string, at time.Time, count int64) (*Template, error) {
 	if count <= 0 {
 		return nil, fmt.Errorf("preprocess: non-positive batch count %d", count)
@@ -76,29 +169,105 @@ func (p *Preprocessor) ProcessBatch(raw string, at time.Time, count int64) (*Tem
 func (p *Preprocessor) processN(raw string, at time.Time, count int64) (*Template, error) {
 	res, err := Templatize(raw)
 	if err != nil {
-		p.mu.Lock()
-		p.stats.ParseErrors++
-		p.mu.Unlock()
+		p.parseErrors.Add(1)
 		return nil, fmt.Errorf("preprocess: %w", err)
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-
 	key := res.Features.SemanticKey()
-	t, ok := p.templates[key]
+	sh := p.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.fold(p, res, key, at, count), nil
+}
+
+// Observation is one query arrival for the batch ingest path.
+type Observation struct {
+	// SQL is the raw query text.
+	SQL string
+	// At is the arrival time.
+	At time.Time
+	// Count is the number of identical arrivals; 0 is treated as 1,
+	// negative counts are rejected.
+	Count int64
+}
+
+// ProcessMany templatizes and folds a batch of observations. Parsing runs
+// lock-free up front; the parsed arrivals are then grouped by stripe so each
+// stripe's mutex is taken exactly once per call. Within a stripe,
+// observations fold in input order, so for a fixed input order ProcessMany
+// produces the same catalog — same templates, same IDs, same histories — as
+// the equivalent sequence of ProcessBatch calls. The returned counts are
+// query-weighted: ingested sums the arrival counts folded in, rejected sums
+// the counts of dropped observations (parse failures — which also increment
+// Stats.ParseErrors — and negative counts, which weigh 1).
+func (p *Preprocessor) ProcessMany(obs []Observation) (ingested, rejected int64) {
+	type parsedObs struct {
+		res   *TemplatizeResult
+		key   string
+		obsIx int
+	}
+	buckets := make([][]parsedObs, len(p.shards))
+	for i := range obs {
+		o := &obs[i]
+		if o.Count < 0 {
+			rejected++
+			continue
+		}
+		res, err := Templatize(o.SQL)
+		if err != nil {
+			p.parseErrors.Add(1)
+			if o.Count > 0 {
+				rejected += o.Count
+			} else {
+				rejected++
+			}
+			continue
+		}
+		key := res.Features.SemanticKey()
+		ix := p.shardIndex(key)
+		buckets[ix] = append(buckets[ix], parsedObs{res: res, key: key, obsIx: i})
+	}
+	for ix, bucket := range buckets {
+		if len(bucket) == 0 {
+			continue
+		}
+		sh := &p.shards[ix]
+		sh.mu.Lock()
+		for _, po := range bucket {
+			o := &obs[po.obsIx]
+			count := o.Count
+			if count == 0 {
+				count = 1
+			}
+			sh.fold(p, po.res, po.key, o.At, count)
+			ingested += count
+		}
+		sh.mu.Unlock()
+	}
+	return ingested, rejected
+}
+
+// fold records count arrivals of a parsed query into the stripe, creating
+// the template on first sight.
+//
+// qb5000:locked mu
+func (s *catalogShard) fold(p *Preprocessor, res *TemplatizeResult, key string, at time.Time, count int64) *Template {
+	t, ok := s.templates[key]
 	if !ok {
-		p.nextID++
+		s.nextSeq++
+		id := s.nextSeq<<p.shardBits | s.idx
 		t = &Template{
-			ID:       p.nextID,
+			ID:       id,
 			SQL:      res.SQL,
 			Key:      key,
 			Features: res.Features,
 			History:  newHistory(at),
-			Params:   NewReservoir(p.opts.ReservoirSize, p.opts.Seed+p.nextID),
+			// Seed from the key hash, not the ID: IDs carry stripe bits,
+			// and reservoir sampling must not vary with the stripe layout.
+			Params: NewReservoir(p.opts.ReservoirSize, p.opts.Seed+int64(keyHash(key))),
 		}
-		p.templates[key] = t
-		p.byID[t.ID] = t
-		p.newSinceMark++
+		s.templates[key] = t
+		s.byID[id] = t
+		s.newSinceMark++
 	}
 	t.Record(at, res.Params)
 	if count > 1 {
@@ -106,96 +275,205 @@ func (p *Preprocessor) processN(raw string, at time.Time, count int64) (*Templat
 		t.History.Record(at, float64(count-1))
 	}
 	t.Tuples += count * int64(res.BatchSize)
-	p.stats.TotalQueries += count
-	p.stats.ByType[res.Stmt.Type()] += count
-	return t, nil
+	s.totalQueries += count
+	s.byType[res.Stmt.Type()] += count
+	return t
 }
 
-// Templates returns a snapshot of the catalog sorted by template ID.
+// Templates returns a snapshot of the catalog sorted by template ID. The
+// returned templates are deep copies: safe to read without synchronization
+// and immune to concurrent ingest. Each stripe is copied atomically; under
+// concurrent ingest, arrivals landing while the snapshot is being taken may
+// appear in later-copied stripes but never tear an individual template.
 func (p *Preprocessor) Templates() []*Template {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	out := make([]*Template, 0, len(p.templates))
-	for _, t := range p.templates {
-		out = append(out, t)
+	out := make([]*Template, 0, p.Len())
+	for i := range p.shards {
+		out = p.shards[i].appendClones(out)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
-// Template returns the template with the given ID, if present.
+func (s *catalogShard) appendClones(out []*Template) []*Template {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:ignore maporder every caller sorts the merged cross-stripe slice by ID
+	for _, t := range s.templates {
+		out = append(out, t.Clone())
+	}
+	return out
+}
+
+// Template returns a copy of the template with the given ID, if present.
 func (p *Preprocessor) Template(id int64) (*Template, bool) {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	t, ok := p.byID[id]
-	return t, ok
+	// Fast path: live IDs encode their stripe in the low bits.
+	home := int(uint64(id) & p.shardMask)
+	if t, ok := p.shards[home].lookup(id); ok {
+		return t, true
+	}
+	// Restored snapshots carry canonical IDs whose low bits need not match
+	// the key-hash stripe; fall back to scanning the other stripes.
+	for i := range p.shards {
+		if i == home {
+			continue
+		}
+		if t, ok := p.shards[i].lookup(id); ok {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+func (s *catalogShard) lookup(id int64) (*Template, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.byID[id]
+	if !ok {
+		return nil, false
+	}
+	return t.Clone(), true
+}
+
+// CloneByID returns copies of the templates with the given IDs, keyed by ID.
+// IDs not in the catalog are simply absent from the result. The forecaster
+// uses this to resolve a tracked cluster's members against the latest
+// histories in one pass instead of one catalog lookup per member.
+func (p *Preprocessor) CloneByID(ids []int64) map[int64]*Template {
+	want := make(map[int64]struct{}, len(ids))
+	for _, id := range ids {
+		want[id] = struct{}{}
+	}
+	out := make(map[int64]*Template, len(ids))
+	for i := range p.shards {
+		p.shards[i].cloneInto(want, out)
+	}
+	return out
+}
+
+func (s *catalogShard) cloneInto(want map[int64]struct{}, out map[int64]*Template) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id := range want {
+		if t, ok := s.byID[id]; ok {
+			out[id] = t.Clone()
+		}
+	}
 }
 
 // Len returns the number of live templates.
 func (p *Preprocessor) Len() int {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return len(p.templates)
+	n := 0
+	for i := range p.shards {
+		n += p.shards[i].size()
+	}
+	return n
 }
 
-// Stats returns a copy of the accumulated workload counters.
+func (s *catalogShard) size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.templates)
+}
+
+// Stats returns the accumulated workload counters merged across stripes.
 func (p *Preprocessor) Stats() Stats {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	s := p.stats
-	s.NumTemplates = len(p.templates)
-	s.ByType = make(map[sqlparse.StatementType]int64, len(p.stats.ByType))
-	for k, v := range p.stats.ByType {
-		s.ByType[k] = v
+	s := Stats{ByType: make(map[sqlparse.StatementType]int64)}
+	for i := range p.shards {
+		p.shards[i].statsInto(&s)
 	}
+	s.ParseErrors = p.parseErrors.Load()
 	return s
+}
+
+func (s *catalogShard) statsInto(out *Stats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out.TotalQueries += s.totalQueries
+	out.NumTemplates += len(s.templates)
+	for k, v := range s.byType {
+		out.ByType[k] += v
+	}
 }
 
 // NewTemplateRatio returns the fraction of the catalog created since the
 // last call to MarkNewTemplates. The clusterer triggers an early re-cluster
 // when this exceeds its threshold (§5.2).
 func (p *Preprocessor) NewTemplateRatio() float64 {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	if len(p.templates) == 0 {
+	var fresh, total int
+	for i := range p.shards {
+		f, t := p.shards[i].newCounts()
+		fresh += f
+		total += t
+	}
+	if total == 0 {
 		return 0
 	}
-	return float64(p.newSinceMark) / float64(len(p.templates))
+	return float64(fresh) / float64(total)
+}
+
+func (s *catalogShard) newCounts() (fresh, total int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.newSinceMark, len(s.templates)
 }
 
 // MarkNewTemplates resets the new-template counter.
 func (p *Preprocessor) MarkNewTemplates() {
-	p.mu.Lock()
-	p.newSinceMark = 0
-	p.mu.Unlock()
+	for i := range p.shards {
+		p.shards[i].markNew()
+	}
+}
+
+func (s *catalogShard) markNew() {
+	s.mu.Lock()
+	s.newSinceMark = 0
+	s.mu.Unlock()
 }
 
 // Maintain performs the periodic background work at time `now`: compacting
 // stale fine-grained history into coarse bins and evicting templates that
-// have been idle past the eviction window. It returns the evicted templates.
+// have been idle past the eviction window. It returns the evicted templates
+// (sorted by ID); once evicted, the returned objects are no longer reachable
+// from the catalog and belong to the caller.
 func (p *Preprocessor) Maintain(now time.Time) []*Template {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	var evicted []*Template
-	for key, t := range p.templates {
+	for i := range p.shards {
+		evicted = p.shards[i].maintain(p.opts.EvictAfter, now, evicted)
+	}
+	sort.Slice(evicted, func(i, j int) bool { return evicted[i].ID < evicted[j].ID })
+	return evicted
+}
+
+func (s *catalogShard) maintain(evictAfter time.Duration, now time.Time, evicted []*Template) []*Template {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:ignore maporder Maintain sorts the merged eviction slice by ID; compaction itself is order-independent
+	for key, t := range s.templates {
 		t.History.Compact(now)
-		if p.opts.EvictAfter > 0 && now.Sub(t.LastSeen) > p.opts.EvictAfter {
-			delete(p.templates, key)
-			delete(p.byID, t.ID)
+		if evictAfter > 0 && now.Sub(t.LastSeen) > evictAfter {
+			delete(s.templates, key)
+			delete(s.byID, t.ID)
 			evicted = append(evicted, t)
 		}
 	}
-	sort.Slice(evicted, func(i, j int) bool { return evicted[i].ID < evicted[j].ID })
 	return evicted
 }
 
 // HistoryBytes reports the total storage footprint of all template
 // histories, for the Table 4 overhead accounting.
 func (p *Preprocessor) HistoryBytes() int {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
 	var n int
-	for _, t := range p.templates {
+	for i := range p.shards {
+		n += p.shards[i].historyBytes()
+	}
+	return n
+}
+
+func (s *catalogShard) historyBytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int
+	for _, t := range s.templates {
 		n += t.History.Bytes()
 	}
 	return n

@@ -40,6 +40,20 @@ func (r *Reservoir) Observe(params []string) {
 	}
 }
 
+// Clone copies the reservoir's current sample set. The parameter vectors
+// themselves are never mutated in place (Observe replaces whole elements),
+// so they are shared. The RNG source is opaque and cannot be duplicated;
+// clones are read-side copies, so the clone re-seeds deterministically from
+// the stream position in case a caller keeps sampling into it.
+func (r *Reservoir) Clone() *Reservoir {
+	return &Reservoir{
+		capacity: r.capacity,
+		seen:     r.seen,
+		items:    append([][]string(nil), r.items...),
+		rng:      rand.New(rand.NewSource(r.seen)),
+	}
+}
+
 // Seen returns how many parameter vectors have been offered.
 func (r *Reservoir) Seen() int64 { return r.seen }
 

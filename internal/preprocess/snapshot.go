@@ -15,16 +15,36 @@ import (
 // stores templates and arrival histories in an internal database so the
 // framework survives restarts (§3). Derived state (clusters, models) is
 // rebuilt by the next maintenance pass after a restore.
+//
+// Snapshots are canonical and layout-independent: templates are serialized
+// in sorted semantic-key order with IDs remapped to 1..N in that order, the
+// stripe count is not persisted, and the per-type counters are stored as a
+// sorted slice (gob encodes maps in random iteration order). Two catalogs
+// that folded the same queries in the same order therefore produce
+// byte-identical snapshots regardless of how many shards either used.
 
-// snapshotVersion guards the gob wire format.
-const snapshotVersion = 1
+// snapshotVersion guards the gob wire format. Version 2 introduced the
+// canonical form (remapped IDs, flattened deterministic stats) alongside the
+// sharded catalog.
+const snapshotVersion = 2
 
 type snapshotDTO struct {
 	Version   int
 	Opts      Options
-	NextID    int64
-	Stats     Stats
+	Stats     statsDTO
 	Templates []templateDTO
+}
+
+// statsDTO flattens Stats for serialization with a deterministic encoding.
+type statsDTO struct {
+	TotalQueries int64
+	ParseErrors  int64
+	ByType       []typeCountDTO
+}
+
+type typeCountDTO struct {
+	Type  sqlparse.StatementType
+	Count int64
 }
 
 type templateDTO struct {
@@ -38,29 +58,46 @@ type templateDTO struct {
 	Count, Tuples       int64
 }
 
-// Snapshot serializes the catalog. The reservoir's RNG position is not
-// preserved exactly; after a restore, sampling continues with a seed derived
-// from the observed count, which keeps samples uniform but not bit-identical
-// to an uninterrupted run.
+// Snapshot serializes the catalog in canonical form. The reservoir's RNG
+// position is not preserved exactly; after a restore, sampling continues
+// with a seed derived from the observed count, which keeps samples uniform
+// but not bit-identical to an uninterrupted run. Each stripe is captured
+// atomically; for a snapshot that reflects one exact instant, quiesce ingest
+// first.
 func (p *Preprocessor) Snapshot(w io.Writer) error {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	dto := snapshotDTO{Version: snapshotVersion, Opts: p.opts, NextID: p.nextID, Stats: p.stats}
-	// Serialize templates in sorted-key order so two snapshots of the same
-	// catalog are byte-identical.
-	keys := make([]string, 0, len(p.templates))
-	for k := range p.templates {
-		keys = append(keys, k)
+	var ts []*Template
+	stats := Stats{ByType: make(map[sqlparse.StatementType]int64)}
+	for i := range p.shards {
+		ts = p.shards[i].exportInto(ts, &stats)
 	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		t := p.templates[k]
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Key < ts[j].Key })
+
+	opts := p.opts
+	opts.Shards = 0 // snapshots are catalog-layout-independent
+	dto := snapshotDTO{
+		Version: snapshotVersion,
+		Opts:    opts,
+		Stats: statsDTO{
+			TotalQueries: stats.TotalQueries,
+			ParseErrors:  p.parseErrors.Load(),
+		},
+	}
+	types := make([]sqlparse.StatementType, 0, len(stats.ByType))
+	for k := range stats.ByType {
+		types = append(types, k)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	for _, k := range types {
+		dto.Stats.ByType = append(dto.Stats.ByType, typeCountDTO{Type: k, Count: stats.ByType[k]})
+	}
+
+	for i, t := range ts {
 		hb, err := t.History.MarshalBinary()
 		if err != nil {
 			return fmt.Errorf("preprocess: snapshot template %d: %w", t.ID, err)
 		}
 		dto.Templates = append(dto.Templates, templateDTO{
-			ID:             t.ID,
+			ID:             int64(i + 1), // canonical ID: position in key order
 			SQL:            t.SQL,
 			Key:            t.Key,
 			History:        hb,
@@ -75,8 +112,34 @@ func (p *Preprocessor) Snapshot(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(dto)
 }
 
-// RestoreSnapshot reconstructs a Preprocessor from a snapshot stream.
+// exportInto appends clones of the stripe's templates and folds its counters
+// into stats, all under one lock acquisition so each stripe's templates and
+// counters agree with each other.
+func (s *catalogShard) exportInto(out []*Template, stats *Stats) []*Template {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:ignore maporder Snapshot sorts the merged slice by semantic key before encoding
+	for _, t := range s.templates {
+		out = append(out, t.Clone())
+	}
+	stats.TotalQueries += s.totalQueries
+	for k, v := range s.byType {
+		stats.ByType[k] += v
+	}
+	return out
+}
+
+// RestoreSnapshot reconstructs a Preprocessor from a snapshot stream with
+// the default stripe count.
 func RestoreSnapshot(r io.Reader) (*Preprocessor, error) {
+	return RestoreSnapshotShards(r, 0)
+}
+
+// RestoreSnapshotShards is RestoreSnapshot with an explicit stripe count
+// (0 selects the default). Restored templates keep their canonical snapshot
+// IDs; every stripe's ID sequence starts above the restored maximum, so
+// templates created after the restore can never collide with a restored ID.
+func RestoreSnapshotShards(r io.Reader, shards int) (*Preprocessor, error) {
 	var dto snapshotDTO
 	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
 		return nil, fmt.Errorf("preprocess: restore: %w", err)
@@ -84,18 +147,19 @@ func RestoreSnapshot(r io.Reader) (*Preprocessor, error) {
 	if dto.Version != snapshotVersion {
 		return nil, fmt.Errorf("preprocess: unsupported snapshot version %d", dto.Version)
 	}
-	p := New(dto.Opts)
-	p.nextID = dto.NextID
-	p.stats = dto.Stats
-	if p.stats.ByType == nil {
-		p.stats.ByType = make(map[sqlparse.StatementType]int64)
-	}
+	opts := dto.Opts
+	opts.Shards = shards
+	p := New(opts)
+	var maxID int64
 	for _, td := range dto.Templates {
 		h := &timeseries.History{}
 		if err := h.UnmarshalBinary(td.History); err != nil {
 			return nil, fmt.Errorf("preprocess: restore template %d: %w", td.ID, err)
 		}
-		res := RestoreReservoir(p.opts.ReservoirSize, p.opts.Seed+td.ID+td.ReservoirSeen, td.ReservoirItems, td.ReservoirSeen)
+		// Re-seed from the key hash plus progress, matching fold's
+		// shard-layout-independent scheme so the sampling stream after a
+		// restore does not depend on snapshot ID remapping.
+		res := RestoreReservoir(p.opts.ReservoirSize, p.opts.Seed+int64(keyHash(td.Key))+td.ReservoirSeen, td.ReservoirItems, td.ReservoirSeen)
 		t := &Template{
 			ID:        td.ID,
 			SQL:       td.SQL,
@@ -111,8 +175,29 @@ func RestoreSnapshot(r io.Reader) (*Preprocessor, error) {
 		if parsed, err := Templatize(td.SQL); err == nil {
 			t.Features = parsed.Features
 		}
-		p.templates[t.Key] = t
-		p.byID[t.ID] = t
+		sh := p.shardFor(t.Key)
+		sh.mu.Lock()
+		sh.templates[t.Key] = t
+		sh.byID[t.ID] = t
+		sh.mu.Unlock()
+		if td.ID > maxID {
+			maxID = td.ID
+		}
+	}
+	// Counters are merged on read, so the restored totals live in stripe 0.
+	s0 := &p.shards[0]
+	s0.mu.Lock()
+	s0.totalQueries = dto.Stats.TotalQueries
+	for _, tc := range dto.Stats.ByType {
+		s0.byType[tc.Type] = tc.Count
+	}
+	s0.mu.Unlock()
+	p.parseErrors.Store(dto.Stats.ParseErrors)
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		sh.nextSeq = maxID
+		sh.mu.Unlock()
 	}
 	return p, nil
 }

@@ -38,10 +38,16 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	if a.TotalQueries != b.TotalQueries || len(a.ByType) != len(b.ByType) {
 		t.Fatalf("stats mismatch: %+v vs %+v", a, b)
 	}
+	// Snapshot IDs are canonical (1..N in semantic-key order), so restored
+	// templates are matched by semantic key rather than by original ID.
+	bySQL := make(map[string]*Template)
+	for _, rt := range restored.Templates() {
+		bySQL[rt.Key] = rt
+	}
 	for _, orig := range p.Templates() {
-		got, ok := restored.Template(orig.ID)
+		got, ok := bySQL[orig.Key]
 		if !ok {
-			t.Fatalf("template %d missing after restore", orig.ID)
+			t.Fatalf("template %d (%s) missing after restore", orig.ID, orig.Key)
 		}
 		if got.SQL != orig.SQL || got.Count != orig.Count || got.Tuples != orig.Tuples {
 			t.Fatalf("template %d mismatch:\n%+v\n%+v", orig.ID, got, orig)
@@ -65,18 +71,22 @@ func TestSnapshotRoundTrip(t *testing.T) {
 
 	// The restored catalog keeps working: the same query folds into its
 	// existing template and new templates get fresh IDs.
+	restoredIDs := make(map[int64]bool)
+	for _, rt := range restored.Templates() {
+		restoredIDs[rt.ID] = true
+	}
 	tm, err := restored.Process("SELECT a FROM t WHERE x = 77", base.Add(2*time.Hour))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tm.ID != 1 {
-		t.Fatalf("restored catalog did not fold: got template %d", tm.ID)
+	if want := bySQL["SELECT|T:t|P:x = ?|R:a"]; tm.ID != want.ID {
+		t.Fatalf("restored catalog did not fold: got template %d, want %d", tm.ID, want.ID)
 	}
 	fresh, err := restored.Process("SELECT brand FROM new_table WHERE z = 1", base.Add(2*time.Hour))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, dup := p.Template(fresh.ID); dup {
+	if restoredIDs[fresh.ID] {
 		t.Fatalf("restored catalog reused ID %d", fresh.ID)
 	}
 }

@@ -90,6 +90,17 @@ type Template struct {
 	Tuples int64
 }
 
+// Clone deep-copies the template's mutable state — history and reservoir —
+// so the copy can be read without synchronization while the original keeps
+// recording under its shard lock. SQL, Key, and Features are immutable after
+// creation and are shared.
+func (t *Template) Clone() *Template {
+	c := *t
+	c.History = t.History.Clone()
+	c.Params = t.Params.Clone()
+	return &c
+}
+
 // Record notes one arrival of the template at time t.
 func (t *Template) Record(at time.Time, params []Param) {
 	t.Count++

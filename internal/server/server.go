@@ -32,9 +32,9 @@ import (
 var ErrNoObservations = errors.New("server: no observations yet")
 
 // Server wraps a Forecaster with HTTP handlers. The Forecaster is itself
-// safe for concurrent use (observations and maintenance serialize behind
-// its internal lock, forecasts run concurrently), so the handlers call it
-// directly; the server only guards its own lastSeen clock.
+// safe for concurrent use (ingest goes to the sharded catalog's stripe
+// locks, maintenance publishes copy-on-write epochs), so the handlers call
+// it directly; the server only guards its own lastSeen clock.
 type Server struct {
 	f *qb5000.Forecaster
 
@@ -80,25 +80,47 @@ type ObserveResult struct {
 	Rejected int64 `json:"rejected"`
 }
 
+// observeChunk bounds how many trace entries accumulate before the server
+// flushes them through ObserveMany: large enough that parsing amortizes the
+// per-stripe lock acquisitions, small enough to bound memory on unbounded
+// request bodies.
+const observeChunk = 1024
+
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
 	var res ObserveResult
+	var maxAt time.Time
+	batch := make([]qb5000.Observation, 0, observeChunk)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		out := s.f.ObserveMany(batch)
+		res.Ingested += out.Ingested
+		res.Rejected += out.Rejected
+		batch = batch[:0]
+	}
 	err := tracefile.Read(r.Body, func(e tracefile.Entry) error {
-		if err := s.f.ObserveBatch(e.SQL, e.At, e.Count); err != nil {
-			res.Rejected += e.Count
-			return nil // keep ingesting; parse failures are per-query
+		batch = append(batch, qb5000.Observation{SQL: e.SQL, At: e.At, Count: e.Count})
+		if e.At.After(maxAt) {
+			maxAt = e.At
 		}
-		res.Ingested += e.Count
-		s.mu.Lock()
-		if e.At.After(s.lastSeen) {
-			s.lastSeen = e.At
+		if len(batch) >= observeChunk {
+			flush()
 		}
-		s.mu.Unlock()
 		return nil
 	})
+	// Entries accumulated before a mid-stream format error still fold, the
+	// same as the entry-at-a-time path always behaved.
+	flush()
+	s.mu.Lock()
+	if maxAt.After(s.lastSeen) {
+		s.lastSeen = maxAt
+	}
+	s.mu.Unlock()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return

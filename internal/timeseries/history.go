@@ -99,6 +99,19 @@ func (h *History) FullHourly() *Series {
 	return out
 }
 
+// Clone deep-copies the history. Clones back the immutable template
+// snapshots the sharded catalog hands to the clusterer and to API readers:
+// the original can keep recording under its shard lock while the clone is
+// read without any synchronization.
+func (h *History) Clone() *History {
+	return &History{
+		fine:   h.fine.Clone(),
+		coarse: h.coarse.Clone(),
+		window: h.window,
+		ratio:  h.ratio,
+	}
+}
+
 // Bytes estimates the storage footprint of the history in bytes
 // (8 bytes per bin), used by the Table 4 overhead accounting.
 func (h *History) Bytes() int {

@@ -23,7 +23,6 @@ package qb5000
 import (
 	"context"
 	"io"
-	"sync"
 	"time"
 
 	"qb5000/internal/cluster"
@@ -69,14 +68,25 @@ type Config struct {
 	// Results are bit-identical at every setting (per-model seeds derive
 	// from Seed, not from scheduling order).
 	Parallelism int
+	// Shards is the template catalog's lock-stripe count, rounded up to a
+	// power of two (0 selects GOMAXPROCS rounded up). More stripes let
+	// more connection handlers observe queries concurrently. Template IDs
+	// are stable for a given (shard count, per-shard input order); Save
+	// writes a canonical layout-independent snapshot, so snapshots match
+	// byte-for-byte across shard counts. Pin to 1 when template IDs must
+	// reproduce across machines with different core counts.
+	Shards int
 }
 
-// Forecaster is the public QB5000 instance. It is safe for concurrent use:
-// observations and maintenance serialize behind a write lock, while
-// Forecast, Stats, and Templates run concurrently under a read lock.
+// Forecaster is the public QB5000 instance. It is safe for concurrent use
+// and designed so ingestion stays off the DBMS's critical path (§3):
+// Observe/ObserveBatch/ObserveMany go straight to the template catalog's
+// lock stripes (queries for different templates don't contend), Tick and
+// Maintain build clusters and models off to the side and publish them as an
+// immutable epoch behind one atomic pointer, and Forecast/Stats/Templates
+// read the current epoch and the striped catalog without ever waiting on a
+// retrain.
 type Forecaster struct {
-	mu sync.RWMutex
-	// qb5000:guardedby mu
 	ctl *core.Controller
 }
 
@@ -101,6 +111,7 @@ func New(cfg Config) *Forecaster {
 		Epochs:         cfg.Epochs,
 		LearnRate:      cfg.LearnRate,
 		Parallelism:    cfg.Parallelism,
+		Shards:         cfg.Shards,
 	})}
 }
 
@@ -112,11 +123,48 @@ func (f *Forecaster) Observe(sql string, at time.Time) error {
 }
 
 // ObserveBatch forwards count identical arrivals at once — useful when
-// replaying aggregated traces.
+// replaying aggregated traces. Parsing runs lock-free; only the catalog
+// stripe the query's template hashes to is locked, so observations for
+// different templates proceed in parallel and never wait on maintenance.
 func (f *Forecaster) ObserveBatch(sql string, at time.Time, count int64) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
 	return f.ctl.Ingest(sql, at, count)
+}
+
+// Observation is one query arrival for ObserveMany.
+type Observation struct {
+	// SQL is the raw query text.
+	SQL string
+	// At is the arrival time.
+	At time.Time
+	// Count is the number of identical arrivals; 0 is treated as 1,
+	// negative counts are rejected.
+	Count int64
+}
+
+// ObserveManyResult reports the outcome of one ObserveMany call. Both
+// tallies are query-weighted: an observation with Count 5 adds 5 to
+// whichever side it lands on.
+type ObserveManyResult struct {
+	// Ingested counts queries folded into the catalog.
+	Ingested int64
+	// Rejected counts queries dropped: unparseable SQL (also counted in
+	// Stats.ParseErrors) or negative counts (which weigh 1).
+	Rejected int64
+}
+
+// ObserveMany forwards a batch of observations in one call: all parsing
+// runs up front with no locks held, then the parsed arrivals are grouped by
+// catalog stripe so each stripe's lock is taken exactly once. This is the
+// preferred ingest path for trace replay and for servers draining request
+// bodies. For a fixed input order it produces exactly the catalog the
+// equivalent sequence of ObserveBatch calls would.
+func (f *Forecaster) ObserveMany(obs []Observation) ObserveManyResult {
+	converted := make([]preprocess.Observation, len(obs))
+	for i, o := range obs {
+		converted[i] = preprocess.Observation{SQL: o.SQL, At: o.At, Count: o.Count}
+	}
+	ingested, rejected := f.ctl.IngestMany(converted)
+	return ObserveManyResult{Ingested: ingested, Rejected: rejected}
 }
 
 // Tick performs any due periodic maintenance (history compaction,
@@ -127,10 +175,10 @@ func (f *Forecaster) Tick(now time.Time) (bool, error) {
 }
 
 // TickContext is Tick with cancellation: a cancelled ctx aborts clustering
-// and retraining between pool items, keeping the previous models.
+// and retraining between pool items, keeping the previous models. Ticks
+// serialize against each other and against Maintain, but never block
+// Observe or Forecast.
 func (f *Forecaster) TickContext(ctx context.Context, now time.Time) (bool, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
 	return f.ctl.Tick(ctx, now)
 }
 
@@ -142,8 +190,6 @@ func (f *Forecaster) Maintain(now time.Time) error {
 // MaintainContext is Maintain with cancellation semantics matching
 // TickContext.
 func (f *Forecaster) MaintainContext(ctx context.Context, now time.Time) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
 	return f.ctl.Refresh(ctx, now)
 }
 
@@ -162,10 +208,11 @@ type ClusterForecast struct {
 
 // Forecast returns the predicted arrival rates for the tracked clusters at
 // the given horizon. The horizon must be one of Config.Horizons and enough
-// history must have been observed for training.
+// history must have been observed for training. Forecast never blocks on
+// maintenance: it reads the current model epoch and resolves each cluster's
+// member templates from the single catalog snapshot the prediction was
+// computed against, instead of one catalog lookup per member.
 func (f *Forecaster) Forecast(horizon time.Duration) ([]ClusterForecast, error) {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
 	preds, err := f.ctl.Forecast(horizon)
 	if err != nil {
 		return nil, err
@@ -178,7 +225,7 @@ func (f *Forecaster) Forecast(horizon time.Duration) ([]ClusterForecast, error) 
 			TotalRate:       p.TotalRate,
 		}
 		for _, id := range p.Cluster.MemberIDs() {
-			if t, ok := f.ctl.Preprocessor().Template(id); ok {
+			if t, ok := p.Cluster.Members[id]; ok {
 				cf.Templates = append(cf.Templates, t.SQL)
 			}
 		}
@@ -201,10 +248,10 @@ type Stats struct {
 	ParseErrors int64
 }
 
-// Stats reports the current reduction statistics (cf. paper Table 2).
+// Stats reports the current reduction statistics (cf. paper Table 2). It
+// merges the catalog stripes' counters and reads the current epoch without
+// blocking ingest or maintenance.
 func (f *Forecaster) Stats() Stats {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
 	ps := f.ctl.Preprocessor().Stats()
 	return Stats{
 		TotalQueries:    ps.TotalQueries,
@@ -228,10 +275,10 @@ type TemplateInfo struct {
 	SampleParams [][]string
 }
 
-// Templates lists the live templates ordered by ID.
+// Templates lists the live templates ordered by ID. The returned infos are
+// defensive copies built from a cloned catalog snapshot; mutating them (or
+// their SampleParams) cannot affect the forecaster.
 func (f *Forecaster) Templates() []TemplateInfo {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
 	ts := f.ctl.Preprocessor().Templates()
 	out := make([]TemplateInfo, 0, len(ts))
 	for _, t := range ts {
@@ -262,11 +309,12 @@ func Templatize(sql string) (template string, params []string, err error) {
 }
 
 // Save persists the forecaster's durable state — the template catalog with
-// its arrival-rate histories — to w. Clusters and trained models are derived
-// state; they are rebuilt by the first Maintain/Tick after a Load.
+// its arrival-rate histories — to w in a canonical, shard-layout-independent
+// form. Clusters and trained models are derived state; they are rebuilt by
+// the first Maintain/Tick after a Load. Saving concurrently with ingest
+// captures each catalog stripe atomically; quiesce ingest for a snapshot of
+// one exact instant.
 func (f *Forecaster) Save(w io.Writer) error {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
 	return f.ctl.Snapshot(w)
 }
 
@@ -292,6 +340,7 @@ func Load(cfg Config, r io.Reader) (*Forecaster, error) {
 		Epochs:         cfg.Epochs,
 		LearnRate:      cfg.LearnRate,
 		Parallelism:    cfg.Parallelism,
+		Shards:         cfg.Shards,
 	}, r)
 	if err != nil {
 		return nil, err
@@ -300,10 +349,9 @@ func Load(cfg Config, r io.Reader) (*Forecaster, error) {
 }
 
 // Controller exposes the underlying controller for advanced integrations
-// (experiment harnesses, the index-advisor example). Most callers should not
-// need it. The controller is NOT synchronized: accessing it concurrently
-// with other Forecaster methods bypasses the Forecaster's lock.
+// (experiment harnesses, the index-advisor example). Most callers should
+// not need it. The controller is itself safe for concurrent use — it is the
+// same object every Forecaster method delegates to.
 func (f *Forecaster) Controller() *core.Controller {
-	//lint:ignore guardedby documented unsynchronized escape hatch for single-threaded harnesses
 	return f.ctl
 }
