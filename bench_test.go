@@ -272,6 +272,58 @@ func BenchmarkObserveParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkObserveCacheHit measures the fingerprint-cache fast path: the
+// same raw SQL byte strings arrive over and over (the production common
+// case), so every Observe after warmup skips lex/parse/templatize and folds
+// straight into the catalog stripe. The acceptance bar for the cache is
+// ≥10× over the full templatize path with ~0 allocs/op.
+func BenchmarkObserveCacheHit(b *testing.B) {
+	f := New(Config{Seed: 1, FingerprintCacheSize: 1024})
+	queries := make([]string, 256)
+	for i := range queries {
+		queries[i] = fmt.Sprintf("SELECT a, b FROM t%d WHERE x = 1 AND y = 2", i)
+	}
+	at := time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i, q := range queries {
+		if err := f.Observe(q, at.Add(time.Duration(i)*time.Second)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ts := at.Add(time.Duration(i%3600) * time.Second)
+		if err := f.ObserveBatch(queries[i%len(queries)], ts, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := f.Stats(); st.CacheHits < int64(b.N) {
+		b.Fatalf("expected ≥%d cache hits, got %d", b.N, st.CacheHits)
+	}
+}
+
+// BenchmarkObserveCacheMiss measures the cache-enabled slow path: distinct
+// raw text cycling through a smaller cache, so every Observe re-templatizes
+// (plus pays the cache insert and a clock eviction). This bounds the
+// worst-case overhead the cache adds to a workload it cannot help.
+func BenchmarkObserveCacheMiss(b *testing.B) {
+	f := New(Config{Seed: 1, FingerprintCacheSize: 256})
+	queries := make([]string, 4096)
+	for i := range queries {
+		queries[i] = fmt.Sprintf("SELECT a, b FROM t WHERE x = %d AND y = 2", i)
+	}
+	at := time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ts := at.Add(time.Duration(i%3600) * time.Second)
+		if err := f.ObserveBatch(queries[i%len(queries)], ts, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkObserveDuringMaintain measures ingest latency while maintenance
 // (re-cluster + retrain) runs continuously in the background — the paper's
 // §3 requirement that ingest stay off the critical path. Under the old

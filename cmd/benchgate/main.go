@@ -1,0 +1,103 @@
+// Command benchgate compares a fresh `go test -bench` output against a
+// checked-in baseline and exits non-zero when the geomean ns/op regression
+// exceeds the threshold. It is the CI perf gate for the observe hot path:
+//
+//	go test -run XXX -bench 'BenchmarkObserve' -count 6 . > new.txt
+//	benchgate -baseline bench_baseline.txt -new new.txt -max-regress 0.15
+//
+// Exit codes: 0 pass, 1 regression over threshold, 2 usage or I/O error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+
+	"qb5000/internal/lint/benchdiff"
+)
+
+func main() {
+	var (
+		baseline   = flag.String("baseline", "bench_baseline.txt", "baseline `go test -bench` output")
+		newPath    = flag.String("new", "", "fresh benchmark output (default stdin)")
+		maxRegress = flag.Float64("max-regress", 0.15, "maximum allowed fractional geomean slowdown")
+		filter     = flag.String("filter", "", "regexp restricting which benchmarks are compared")
+		report     = flag.String("report", "", "also write the comparison table to this file")
+	)
+	flag.Parse()
+
+	oldS, err := parseFile(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	var newS benchdiff.Samples
+	if *newPath == "" {
+		newS, err = benchdiff.Parse(os.Stdin)
+	} else {
+		newS, err = parseFile(*newPath)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *filter != "" {
+		re, err := regexp.Compile(*filter)
+		if err != nil {
+			fatal(fmt.Errorf("bad -filter: %w", err))
+		}
+		oldS, newS = filtered(oldS, re), filtered(newS, re)
+	}
+
+	rep, err := benchdiff.Compare(oldS, newS, *maxRegress)
+	if err != nil {
+		fatal(err)
+	}
+	var out io.Writer = os.Stdout
+	var rf *os.File
+	if *report != "" {
+		if rf, err = os.Create(*report); err != nil {
+			fatal(err)
+		}
+		out = io.MultiWriter(os.Stdout, rf)
+	}
+	if err := rep.Format(out); err != nil {
+		fatal(err)
+	}
+	if rf != nil {
+		if err := rf.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if rep.Failed() {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL: geomean ns/op regressed %+.1f%% (limit %+.1f%%)\n",
+			(rep.Geomean-1)*100, (rep.Threshold-1)*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: ok (geomean %+.1f%%, limit %+.1f%%)\n", (rep.Geomean-1)*100, (rep.Threshold-1)*100)
+}
+
+func parseFile(path string) (benchdiff.Samples, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return benchdiff.Parse(f)
+}
+
+func filtered(s benchdiff.Samples, re *regexp.Regexp) benchdiff.Samples {
+	out := make(benchdiff.Samples)
+	for name, vs := range s {
+		if re.MatchString(name) {
+			out[name] = vs
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+	os.Exit(2)
+}

@@ -36,6 +36,7 @@ func main() {
 		model     = flag.String("model", "LR", "forecast model: LR|KR|ARMA|FNN|RNN|PSRNN|ENSEMBLE|HYBRID")
 		seed      = flag.Int64("seed", 1, "random seed")
 		shards    = flag.Int("shards", 1, "catalog lock stripes, rounded up to a power of two (0 = all cores, 1 = reproducible sequential IDs)")
+		fpcache   = flag.Int("fpcache", 0, "fingerprint-cache entries: repeated raw SQL skips parsing (0 = disabled)")
 		topN      = flag.Int("top", 10, "templates to print")
 		savePath  = flag.String("save", "", "write a catalog snapshot to this file after ingesting")
 		loadPath  = flag.String("load", "", "restore the catalog from a snapshot before ingesting")
@@ -58,6 +59,8 @@ func main() {
 		Horizons: []time.Duration{*horizon},
 		Seed:     *seed,
 		Shards:   *shards,
+
+		FingerprintCacheSize: *fpcache,
 	}
 	var f *qb5000.Forecaster
 	if *loadPath != "" {

@@ -44,6 +44,7 @@ func main() {
 		seed        = flag.Int64("seed", 1, "random seed")
 		parallelism = flag.Int("parallelism", 0, "worker pool size for clustering/training (0 = all cores, 1 = sequential)")
 		shards      = flag.Int("shards", 0, "catalog lock stripes, rounded up to a power of two (0 = all cores, 1 = reproducible sequential IDs)")
+		fpcache     = flag.Int("fpcache", 0, "fingerprint-cache entries: repeated raw SQL skips parsing (0 = disabled)")
 		maintain    = flag.Duration("maintain-every", 0, "periodic re-cluster + retrain cadence (0 disables the background loop)")
 		loadPath    = flag.String("load", "", "restore the catalog from a snapshot at startup")
 	)
@@ -58,6 +59,8 @@ func main() {
 		Seed:        *seed,
 		Parallelism: *parallelism,
 		Shards:      *shards,
+
+		FingerprintCacheSize: *fpcache,
 	}
 	var f *qb5000.Forecaster
 	if *loadPath != "" {

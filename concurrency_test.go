@@ -137,7 +137,10 @@ func TestConcurrentMaintainAndForecast(t *testing.T) {
 // Tick in a loop (epoch republication) and readers pull Forecast, Stats,
 // and Templates continuously. Run under -race in CI. The query accounting
 // must come out exact — stripe merging may not lose or double-count — and
-// the whole storm may not leak a goroutine.
+// the whole storm may not leak a goroutine. The fingerprint cache is
+// enabled and deliberately small: each ingester's query pool repeats every
+// batch (hits) while distinct texts cycle through (clock evictions), and
+// the Maintain loop's template eviction sweeps the cache concurrently.
 func TestShardedIngestStress(t *testing.T) {
 	leakcheck.Check(t, func() {
 		f, to := replayForecaster(t, Config{
@@ -146,6 +149,7 @@ func TestShardedIngestStress(t *testing.T) {
 			Seed:        11,
 			Parallelism: 2,
 			// Shards: 0 → GOMAXPROCS stripes, the contended default.
+			FingerprintCacheSize: 128,
 		})
 		baseline := f.Stats().TotalQueries
 
@@ -228,6 +232,9 @@ func TestShardedIngestStress(t *testing.T) {
 		if got, want := f.Stats().TotalQueries, baseline+ingested.Add(0); got != want {
 			t.Fatalf("TotalQueries = %d, want %d (stripe merge lost/double-counted)", got, want)
 		}
+		if st := f.Stats(); st.CacheHits == 0 {
+			t.Error("storm produced no fingerprint-cache hits; the stress did not exercise the fast path")
+		}
 		if err := f.Maintain(to.Add(time.Hour)); err != nil {
 			t.Fatal(err)
 		}
@@ -239,29 +246,35 @@ func TestShardedIngestStress(t *testing.T) {
 
 // TestSaveBytesIdenticalAcrossShards pins the catalog determinism contract
 // at the public API: Save emits byte-identical snapshots whether ingest ran
-// over 1, 2, or 8 stripes.
+// over 1, 2, or 8 stripes — and, since the fingerprint cache is pure derived
+// state, whether it was disabled or enabled at any size.
 func TestSaveBytesIdenticalAcrossShards(t *testing.T) {
 	var ref []byte
 	for _, shards := range []int{1, 2, 8} {
-		f := New(Config{Model: "LR", Horizons: []time.Duration{time.Hour}, Seed: 5, Shards: shards})
-		w := workload.BusTracker(5)
-		to := w.Start.Add(24 * time.Hour)
-		err := w.Replay(w.Start, to, 10*time.Minute, func(ev workload.Event) error {
-			return f.ObserveBatch(ev.SQL, ev.At, ev.Count)
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		var buf bytes.Buffer
-		if err := f.Save(&buf); err != nil {
-			t.Fatal(err)
-		}
-		if ref == nil {
-			ref = buf.Bytes()
-			continue
-		}
-		if !bytes.Equal(ref, buf.Bytes()) {
-			t.Fatalf("shards=%d: Save bytes differ from shards=1 (%d vs %d bytes)", shards, buf.Len(), len(ref))
+		for _, fpcache := range []int{0, 512} {
+			f := New(Config{Model: "LR", Horizons: []time.Duration{time.Hour}, Seed: 5, Shards: shards, FingerprintCacheSize: fpcache})
+			w := workload.BusTracker(5)
+			to := w.Start.Add(24 * time.Hour)
+			err := w.Replay(w.Start, to, 10*time.Minute, func(ev workload.Event) error {
+				return f.ObserveBatch(ev.SQL, ev.At, ev.Count)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fpcache > 0 && f.Stats().CacheHits == 0 {
+				t.Errorf("shards=%d fpcache=%d: replay produced no cache hits", shards, fpcache)
+			}
+			var buf bytes.Buffer
+			if err := f.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = buf.Bytes()
+				continue
+			}
+			if !bytes.Equal(ref, buf.Bytes()) {
+				t.Fatalf("shards=%d fpcache=%d: Save bytes differ from the shards=1 cache-off reference (%d vs %d bytes)", shards, fpcache, buf.Len(), len(ref))
+			}
 		}
 	}
 }

@@ -84,6 +84,11 @@ type Config struct {
 	// on the stripe count, so pin Shards to 1 when cross-machine
 	// reproducibility of IDs matters (the experiment harnesses do).
 	Shards int
+	// FingerprintCacheSize bounds the raw-SQL→template fingerprint cache
+	// (entries across all cache shards); 0 disables it. The cache is pure
+	// derived state — hits mutate the catalog exactly as their misses would —
+	// so enabling it changes only ingest latency, never results.
+	FingerprintCacheSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -182,7 +187,12 @@ func New(cfg Config) *Controller {
 	cfg = cfg.withDefaults()
 	return &Controller{
 		cfg: cfg,
-		pre: preprocess.New(preprocess.Options{Seed: cfg.Seed, EvictAfter: cfg.EvictAfter, Shards: cfg.Shards}),
+		pre: preprocess.New(preprocess.Options{
+			Seed:                 cfg.Seed,
+			EvictAfter:           cfg.EvictAfter,
+			Shards:               cfg.Shards,
+			FingerprintCacheSize: cfg.FingerprintCacheSize,
+		}),
 		clu: cluster.New(cluster.Options{
 			Rho:         cfg.Rho,
 			Seed:        cfg.Seed + 1,
@@ -663,7 +673,7 @@ func (c *Controller) Snapshot(w io.Writer) error {
 // let Tick fire) to rebuild it from the restored histories.
 func RestoreController(cfg Config, r io.Reader) (*Controller, error) {
 	c := New(cfg)
-	pre, err := preprocess.RestoreSnapshotShards(r, c.cfg.Shards)
+	pre, err := preprocess.RestoreSnapshotCache(r, c.cfg.Shards, c.cfg.FingerprintCacheSize)
 	if err != nil {
 		return nil, err
 	}

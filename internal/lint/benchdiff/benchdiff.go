@@ -1,0 +1,176 @@
+// Package benchdiff compares two `go test -bench` outputs and reports
+// per-benchmark and overall geomean ns/op ratios, for the CI
+// perf-regression gate. It is deliberately a tiny stdlib-only subset of
+// benchstat: parse the `BenchmarkX-N  iters  ns/op` lines, geomean the
+// samples each side collected (run benchmarks with -count to get several),
+// and fail when new/old exceeds a threshold.
+//
+// Single-sample noise is the usual way perf gates go flaky; the geomean over
+// -count runs on each side plus the geomean across benchmarks damps it, and
+// the threshold (default 15 %) is far above timer jitter on a warm machine
+// while still catching a real regression like an allocation or a lock slipped
+// into the hot loop.
+package benchdiff
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Samples maps a benchmark name (GOMAXPROCS suffix stripped, sub-benchmark
+// path kept) to its ns/op samples in input order.
+type Samples map[string][]float64
+
+// Parse extracts ns/op samples from `go test -bench` output. Lines that are
+// not benchmark result lines (headers, PASS, ok) are ignored.
+func Parse(r io.Reader) (Samples, error) {
+	s := make(Samples)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		name, ns, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		s[name] = append(s[name], ns)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchdiff: read: %w", err)
+	}
+	return s, nil
+}
+
+// parseLine matches `BenchmarkName[-P] <iters> <ns> ns/op ...`.
+func parseLine(line string) (name string, ns float64, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", 0, false
+	}
+	// The unit follows its value: `123 ns/op`.
+	for i := 2; i+1 < len(fields); i++ {
+		if fields[i+1] != "ns/op" {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil || v <= 0 {
+			return "", 0, false
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			return "", 0, false // iteration count must be an integer
+		}
+		return stripProcs(fields[0]), v, true
+	}
+	return "", 0, false
+}
+
+// stripProcs removes the trailing -GOMAXPROCS suffix go test appends
+// (`BenchmarkFoo-8` → `BenchmarkFoo`), so baselines recorded on machines
+// with different core counts still match.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// geomean returns the geometric mean of vs (which must be positive).
+func geomean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vs {
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vs)))
+}
+
+// BenchDelta is the comparison result for one benchmark present in both
+// inputs.
+type BenchDelta struct {
+	Name     string
+	Old, New float64 // geomean ns/op on each side
+	Ratio    float64 // New / Old; > 1 is a slowdown
+}
+
+// Report is the outcome of one comparison.
+type Report struct {
+	Deltas []BenchDelta
+	// Geomean is the overall new/old ratio across Deltas.
+	Geomean float64
+	// Threshold is the configured failure bar (e.g. 1.15).
+	Threshold float64
+	// OldOnly and NewOnly list benchmarks present on just one side; they are
+	// excluded from Geomean but surfaced so a silently dropped benchmark
+	// cannot pass the gate unnoticed.
+	OldOnly, NewOnly []string
+}
+
+// Failed reports whether the overall regression exceeds the threshold.
+func (r Report) Failed() bool { return r.Geomean > r.Threshold }
+
+// Compare matches benchmarks by name and computes per-benchmark and overall
+// geomean ratios. maxRegress is the fractional regression bar: 0.15 fails
+// when the overall geomean ns/op grew by more than 15 %.
+func Compare(oldS, newS Samples, maxRegress float64) (Report, error) {
+	rep := Report{Threshold: 1 + maxRegress}
+	var ratios []float64
+	for name, olds := range oldS {
+		news, ok := newS[name]
+		if !ok {
+			rep.OldOnly = append(rep.OldOnly, name)
+			continue
+		}
+		d := BenchDelta{Name: name, Old: geomean(olds), New: geomean(news)}
+		d.Ratio = d.New / d.Old
+		rep.Deltas = append(rep.Deltas, d)
+		ratios = append(ratios, d.Ratio)
+	}
+	for name := range newS {
+		if _, ok := oldS[name]; !ok {
+			rep.NewOnly = append(rep.NewOnly, name)
+		}
+	}
+	if len(ratios) == 0 {
+		return rep, fmt.Errorf("benchdiff: no benchmarks in common")
+	}
+	sort.Slice(rep.Deltas, func(i, j int) bool { return rep.Deltas[i].Name < rep.Deltas[j].Name })
+	sort.Strings(rep.OldOnly)
+	sort.Strings(rep.NewOnly)
+	rep.Geomean = geomean(ratios)
+	return rep, nil
+}
+
+// Format renders the report as an aligned text table.
+func (r Report) Format(w io.Writer) error {
+	var b strings.Builder
+	width := len("geomean")
+	for _, d := range r.Deltas {
+		if len(d.Name) > width {
+			width = len(d.Name)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  %12s  %12s  %8s\n", width, "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, d := range r.Deltas {
+		fmt.Fprintf(&b, "%-*s  %12.1f  %12.1f  %+7.1f%%\n", width, d.Name, d.Old, d.New, (d.Ratio-1)*100)
+	}
+	fmt.Fprintf(&b, "%-*s  %12s  %12s  %+7.1f%%  (limit %+.1f%%)\n",
+		width, "geomean", "", "", (r.Geomean-1)*100, (r.Threshold-1)*100)
+	for _, n := range r.OldOnly {
+		fmt.Fprintf(&b, "missing from new run: %s\n", n)
+	}
+	for _, n := range r.NewOnly {
+		fmt.Fprintf(&b, "not in baseline: %s\n", n)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,146 @@
+package benchdiff
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const oldOut = `goos: linux
+goarch: amd64
+pkg: qb5000
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkObserveCacheHit-8   	 1000000	       300.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkObserveCacheHit-8   	 1000000	       310.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkObserveCacheMiss-8  	  200000	      7000 ns/op	    1700 B/op	      45 allocs/op
+BenchmarkObserveParallel/goroutines=4-8 	  500000	      2500 ns/op
+PASS
+ok  	qb5000	3.1s
+`
+
+func TestParse(t *testing.T) {
+	s, err := Parse(strings.NewReader(oldOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s["BenchmarkObserveCacheHit"]); got != 2 {
+		t.Fatalf("CacheHit samples = %d, want 2", got)
+	}
+	if got := s["BenchmarkObserveCacheMiss"]; len(got) != 1 || got[0] != 7000 {
+		t.Fatalf("CacheMiss samples = %v, want [7000]", got)
+	}
+	// Sub-benchmark names keep their path but lose the -GOMAXPROCS suffix.
+	if got := s["BenchmarkObserveParallel/goroutines=4"]; len(got) != 1 {
+		t.Fatalf("sub-benchmark not parsed: %v", s)
+	}
+	if len(s) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(s), s)
+	}
+}
+
+func TestParseIgnoresMalformed(t *testing.T) {
+	s, err := Parse(strings.NewReader("BenchmarkBad notanumber 12 ns/op\nBenchmarkWorse-8 10 -5 ns/op\nnothing here\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 0 {
+		t.Fatalf("expected malformed lines ignored, got %v", s)
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkFoo-8":        "BenchmarkFoo",
+		"BenchmarkFoo-128":      "BenchmarkFoo",
+		"BenchmarkFoo":          "BenchmarkFoo",
+		"BenchmarkFoo/sub=2-8":  "BenchmarkFoo/sub=2",
+		"BenchmarkFoo/n-ary":    "BenchmarkFoo/n-ary",
+		"BenchmarkObserve-fast": "BenchmarkObserve-fast",
+	} {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func mk(pairs map[string][]float64) Samples { return Samples(pairs) }
+
+func TestCompareWithinThreshold(t *testing.T) {
+	old := mk(map[string][]float64{"BenchmarkA": {100, 100}, "BenchmarkB": {200}})
+	cur := mk(map[string][]float64{"BenchmarkA": {110, 110}, "BenchmarkB": {200}})
+	rep, err := Compare(old, cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("5%% overall regression failed a 15%% gate: geomean=%v", rep.Geomean)
+	}
+	// geomean(1.1, 1.0) = sqrt(1.1)
+	if want := math.Sqrt(1.1); math.Abs(rep.Geomean-want) > 1e-9 {
+		t.Fatalf("geomean = %v, want %v", rep.Geomean, want)
+	}
+}
+
+func TestCompareFailsOnRegression(t *testing.T) {
+	old := mk(map[string][]float64{"BenchmarkA": {100}, "BenchmarkB": {200}})
+	cur := mk(map[string][]float64{"BenchmarkA": {200}, "BenchmarkB": {400}})
+	rep, err := Compare(old, cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Fatalf("2x slowdown passed the gate: geomean=%v", rep.Geomean)
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	old := mk(map[string][]float64{"BenchmarkA": {100}})
+	cur := mk(map[string][]float64{"BenchmarkA": {20}})
+	rep, err := Compare(old, cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatal("a 5x speedup must pass")
+	}
+}
+
+func TestCompareDisjointSets(t *testing.T) {
+	old := mk(map[string][]float64{"BenchmarkA": {100}, "BenchmarkGone": {50}})
+	cur := mk(map[string][]float64{"BenchmarkA": {100}, "BenchmarkNew": {70}})
+	rep, err := Compare(old, cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.OldOnly) != 1 || rep.OldOnly[0] != "BenchmarkGone" {
+		t.Fatalf("OldOnly = %v", rep.OldOnly)
+	}
+	if len(rep.NewOnly) != 1 || rep.NewOnly[0] != "BenchmarkNew" {
+		t.Fatalf("NewOnly = %v", rep.NewOnly)
+	}
+}
+
+func TestCompareNoCommon(t *testing.T) {
+	if _, err := Compare(mk(map[string][]float64{"BenchmarkA": {1}}), mk(map[string][]float64{"BenchmarkB": {1}}), 0.15); err == nil {
+		t.Fatal("expected an error when no benchmarks overlap")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	old := mk(map[string][]float64{"BenchmarkA": {100}})
+	cur := mk(map[string][]float64{"BenchmarkA": {150}, "BenchmarkNew": {10}})
+	rep, err := Compare(old, cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := rep.Format(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"BenchmarkA", "+50.0%", "geomean", "not in baseline: BenchmarkNew"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

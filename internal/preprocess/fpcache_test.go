@@ -1,0 +1,374 @@
+package preprocess
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fpAt(sec int) time.Time {
+	return time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(sec) * time.Second)
+}
+
+// TestFPCacheHitMissCounters checks the basic accounting: first sight of a
+// raw string is a miss, repeats are hits, and disabling the cache reports
+// zeros.
+func TestFPCacheHitMissCounters(t *testing.T) {
+	p := New(Options{Seed: 1, Shards: 1, FingerprintCacheSize: 16})
+	const q = "SELECT a FROM t WHERE x = 1"
+	for i := 0; i < 5; i++ {
+		if _, err := p.Process(q, fpAt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.Stats()
+	if st.CacheMisses != 1 || st.CacheHits != 4 {
+		t.Fatalf("hits/misses = %d/%d, want 4/1", st.CacheHits, st.CacheMisses)
+	}
+
+	off := New(Options{Seed: 1, Shards: 1})
+	if _, err := off.Process(q, fpAt(0)); err != nil {
+		t.Fatal(err)
+	}
+	if st := off.Stats(); st.CacheHits != 0 || st.CacheMisses != 0 || st.CacheEvictions != 0 {
+		t.Fatalf("disabled cache reported activity: %+v", st)
+	}
+}
+
+// TestFPCacheHitEqualsMissState ingests the same sequence into a cached and
+// an uncached catalog and requires identical template state — the core
+// contract that lets the cache skip parsing without changing results.
+func TestFPCacheHitEqualsMissState(t *testing.T) {
+	queries := []string{
+		"SELECT a FROM t WHERE x = 1",
+		"SELECT a FROM t WHERE x = 2",
+		"INSERT INTO pts (x, y) VALUES (1, 2), (3, 4)",
+		"SELECT a FROM t WHERE x = 1",
+		"UPDATE t SET a = 'x''y' WHERE id = 7",
+		"SELECT a FROM t WHERE x = 1",
+		"INSERT INTO pts (x, y) VALUES (5, 6), (7, 8)",
+	}
+	plain := New(Options{Seed: 1, Shards: 1})
+	cached := New(Options{Seed: 1, Shards: 1, FingerprintCacheSize: 16})
+	for i, q := range queries {
+		if _, err := plain.ProcessBatch(q, fpAt(i), 3); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cached.ProcessBatch(q, fpAt(i), 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits := cached.Stats().CacheHits; hits == 0 {
+		t.Fatal("expected cache hits")
+	}
+	pt, ct := plain.Templates(), cached.Templates()
+	if len(pt) != len(ct) {
+		t.Fatalf("template counts differ: %d vs %d", len(pt), len(ct))
+	}
+	for i := range pt {
+		a, b := pt[i], ct[i]
+		if a.ID != b.ID || a.Key != b.Key || a.Count != b.Count || a.Tuples != b.Tuples {
+			t.Errorf("template %d differs: plain{id=%d count=%d tuples=%d} cached{id=%d count=%d tuples=%d}",
+				i, a.ID, a.Count, a.Tuples, b.ID, b.Count, b.Tuples)
+		}
+		av, bv := a.Params.Sample(), b.Params.Sample()
+		if fmt.Sprint(av) != fmt.Sprint(bv) {
+			t.Errorf("template %d reservoir differs:\n plain: %v\ncached: %v", i, av, bv)
+		}
+	}
+}
+
+// TestFPCacheEvictedTemplateReTemplatizes is the coherence test: after
+// Maintain evicts a template, the next observe of its raw text must mint a
+// fresh template with a NEW ID — never fold into (resurrect) the dead one.
+func TestFPCacheEvictedTemplateReTemplatizes(t *testing.T) {
+	p := New(Options{Seed: 1, Shards: 1, EvictAfter: time.Minute, FingerprintCacheSize: 16})
+	const q = "SELECT a FROM t WHERE x = 1"
+	t1, err := p.Process(q, fpAt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Process(q, fpAt(1)); err != nil { // warm the cache entry
+		t.Fatal(err)
+	}
+	oldID := t1.ID
+
+	evicted := p.Maintain(fpAt(0).Add(time.Hour))
+	if len(evicted) != 1 || evicted[0].ID != oldID {
+		t.Fatalf("Maintain evicted %v, want template %d", evicted, oldID)
+	}
+	if got := p.fp.len(); got != 0 {
+		t.Fatalf("cache holds %d entries after Maintain sweep, want 0", got)
+	}
+
+	t2, err := p.Process(q, fpAt(0).Add(2*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2.ID == oldID {
+		t.Fatalf("evicted template ID %d was resurrected", oldID)
+	}
+	if t2.Count != 1 {
+		t.Fatalf("fresh template carries count %d, want 1", t2.Count)
+	}
+	if _, ok := p.Template(oldID); ok {
+		t.Fatalf("dead ID %d still resolvable", oldID)
+	}
+}
+
+// TestFPCacheStaleEntryLazyCheck exercises the belt-and-braces byID re-check
+// directly: an entry pointing at an ID that is not live (as if Maintain's
+// sweep had raced with an insert) must fall back to the full templatize path
+// and refresh itself, on both the single and the batched observe paths.
+func TestFPCacheStaleEntryLazyCheck(t *testing.T) {
+	for _, many := range []bool{false, true} {
+		p := New(Options{Seed: 1, Shards: 1, FingerprintCacheSize: 16})
+		const q = "SELECT a FROM t WHERE x = 1"
+		// Plant a stale mapping: the ID was never minted, so byID can't have it.
+		p.fp.insert(q, 1<<40, 0, nil, 1, 0)
+
+		var err error
+		if many {
+			_, rej := p.ProcessMany([]Observation{{SQL: q, At: fpAt(0), Count: 1}})
+			if rej != 0 {
+				t.Fatalf("ProcessMany rejected %d", rej)
+			}
+		} else {
+			_, err = p.Process(q, fpAt(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := p.Stats()
+		if st.CacheHits != 0 || st.CacheMisses != 1 {
+			t.Fatalf("many=%v: hits/misses = %d/%d, want 0/1 (stale entry is a logical miss)", many, st.CacheHits, st.CacheMisses)
+		}
+		// The entry must now point at the real template: next observe hits.
+		if _, err := p.Process(q, fpAt(1)); err != nil {
+			t.Fatal(err)
+		}
+		if st := p.Stats(); st.CacheHits != 1 {
+			t.Fatalf("many=%v: entry not refreshed after stale miss: %+v", many, st)
+		}
+	}
+}
+
+// TestFPCacheClockEviction fills a tiny cache past capacity and checks the
+// clock hand evicts cold entries, the entry count stays bounded, and the
+// eviction counter advances.
+func TestFPCacheClockEviction(t *testing.T) {
+	p := New(Options{Seed: 1, Shards: 1, FingerprintCacheSize: 4})
+	for i := 0; i < 12; i++ {
+		q := fmt.Sprintf("SELECT a FROM t WHERE x = %d", i)
+		if _, err := p.Process(q, fpAt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.fp.len(); got > 4 {
+		t.Fatalf("cache grew to %d entries, bound is 4", got)
+	}
+	st := p.Stats()
+	if st.CacheEvictions < 8 {
+		t.Fatalf("evictions = %d, want ≥8 after 12 inserts into 4 slots", st.CacheEvictions)
+	}
+	// Second-chance: re-observing a resident entry sets its ref bit; it must
+	// survive the next single eviction.
+	var resident string
+	for i := 11; i >= 0; i-- {
+		q := fmt.Sprintf("SELECT a FROM t WHERE x = %d", i)
+		if e := p.fp.lookup(q); e != nil {
+			resident = q
+			break
+		}
+	}
+	if resident == "" {
+		t.Fatal("no resident entry found")
+	}
+	if _, err := p.Process(resident, fpAt(100)); err != nil { // hit: ref=1
+		t.Fatal(err)
+	}
+	if _, err := p.Process("SELECT a FROM t WHERE x = 999", fpAt(101)); err != nil {
+		t.Fatal(err)
+	}
+	if e := p.fp.lookup(resident); e == nil {
+		t.Fatal("recently-hit entry was evicted ahead of cold ones")
+	}
+}
+
+// TestFPCacheInvalidateIDs unit-tests the Maintain sweep helper: only the
+// entries whose template died are dropped, and their slots are reusable.
+func TestFPCacheInvalidateIDs(t *testing.T) {
+	c := newFPCache(8, 1)
+	c.insert("q1", 101, 0, nil, 1, 0)
+	c.insert("q2", 102, 0, nil, 1, 0)
+	c.insert("q3", 103, 0, nil, 1, 0)
+	c.invalidateIDs(map[int64]struct{}{101: {}, 103: {}})
+	if e := c.lookup("q1"); e != nil {
+		t.Fatal("q1 should have been invalidated")
+	}
+	if e := c.lookup("q3"); e != nil {
+		t.Fatal("q3 should have been invalidated")
+	}
+	if e := c.lookup("q2"); e == nil || e.id != 102 {
+		t.Fatal("q2 should have survived")
+	}
+	if got := c.len(); got != 1 {
+		t.Fatalf("len = %d, want 1", got)
+	}
+	// Freed slots are reusable without eviction.
+	c.insert("q4", 104, 0, nil, 1, 0)
+	c.insert("q5", 105, 0, nil, 1, 0)
+	if got := c.evictions.Load(); got != 0 {
+		t.Fatalf("reusing freed slots counted %d evictions", got)
+	}
+}
+
+// TestFPCacheReplaceInPlace checks that re-inserting the same raw text
+// replaces the mapping without consuming a second slot.
+func TestFPCacheReplaceInPlace(t *testing.T) {
+	c := newFPCache(2, 1)
+	c.insert("q", 1, 0, nil, 1, 0)
+	c.insert("q", 2, 0, nil, 1, 0)
+	if e := c.lookup("q"); e == nil || e.id != 2 {
+		t.Fatalf("lookup after replace = %+v, want id 2", e)
+	}
+	if got := c.len(); got != 1 {
+		t.Fatalf("len = %d, want 1", got)
+	}
+	if got := c.evictions.Load(); got != 0 {
+		t.Fatalf("replace counted %d evictions", got)
+	}
+}
+
+// TestFPCacheEquivalenceAcrossShards replays one workload (with repeats,
+// batched inserts, eviction churn through both the cache and the catalog)
+// at Shards 1/2/8 with the cache on and off, and requires every
+// configuration to produce byte-identical snapshots.
+func TestFPCacheEquivalenceAcrossShards(t *testing.T) {
+	var queries []string
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 40; i++ {
+			queries = append(queries,
+				fmt.Sprintf("SELECT a, b FROM t%d WHERE x = %d", i%10, i),
+				fmt.Sprintf("INSERT INTO log%d (a, b) VALUES (%d, 'v'), (%d, 'w')", i%4, i, i+1),
+			)
+		}
+	}
+	run := func(shards, cacheSize int) []byte {
+		p := New(Options{Seed: 7, Shards: shards, EvictAfter: time.Hour, FingerprintCacheSize: cacheSize})
+		for i, q := range queries {
+			if _, err := p.ProcessBatch(q, fpAt(i), 2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Mid-run churn: evict everything idle past an hour, then re-feed so
+		// stale fingerprints must re-templatize.
+		p.Maintain(fpAt(len(queries)).Add(2 * time.Hour))
+		base := len(queries) + 8000
+		for i, q := range queries[:50] {
+			if _, err := p.ProcessBatch(q, fpAt(base+i), 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := p.Snapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	ref := run(1, 0)
+	for _, shards := range []int{1, 2, 8} {
+		for _, cache := range []int{0, 8, 4096} {
+			if got := run(shards, cache); !bytes.Equal(got, ref) {
+				t.Errorf("snapshot differs at shards=%d cache=%d (%d vs %d bytes)", shards, cache, len(got), len(ref))
+			}
+		}
+	}
+}
+
+// TestRestoreSnapshotCacheIntegration restores a snapshot with the cache
+// enabled and checks the cache warms correctly against restored canonical
+// IDs (whose low bits need not match their stripe index).
+func TestRestoreSnapshotCacheIntegration(t *testing.T) {
+	src := New(Options{Seed: 1, Shards: 4})
+	const q = "SELECT a FROM t WHERE x = 1"
+	if _, err := src.Process(q, fpAt(0)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p, err := RestoreSnapshotCache(&buf, 4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First observe misses (the cache starts empty), folds into the restored
+	// template, and caches its canonical ID; the second hits.
+	t1, err := p.Process(q, fpAt(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := p.Process(q, fpAt(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.ID != t2.ID {
+		t.Fatalf("IDs diverged after restore: %d vs %d", t1.ID, t2.ID)
+	}
+	st := p.Stats()
+	if st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Fatalf("hits/misses after restore = %d/%d, want 1/1", st.CacheHits, st.CacheMisses)
+	}
+	if got, ok := p.Template(t1.ID); !ok || got.Count != 3 {
+		t.Fatalf("restored template count = %v/%v, want 3 arrivals total", got, ok)
+	}
+}
+
+// TestFPCacheConcurrentChurn hammers one small cache from many goroutines —
+// repeated hits, distinct-text eviction pressure, Maintain sweeps, and
+// snapshot readers — mainly as a -race exerciser for the cache's locking.
+func TestFPCacheConcurrentChurn(t *testing.T) {
+	p := New(Options{Seed: 1, Shards: 2, EvictAfter: time.Minute, FingerprintCacheSize: 8})
+	const workers = 8
+	const iters = 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				var q string
+				if i%3 == 0 {
+					q = fmt.Sprintf("SELECT a FROM hot WHERE x = %d", w%2) // shared hot text
+				} else {
+					q = fmt.Sprintf("SELECT a FROM cold%d WHERE x = %d", w, i)
+				}
+				if _, err := p.Process(q, fpAt(i)); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%50 == 0 {
+					p.Maintain(fpAt(i).Add(30 * time.Minute))
+				}
+				if i%97 == 0 {
+					var buf bytes.Buffer
+					if err := p.Snapshot(&buf); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.CacheHits == 0 || st.CacheMisses == 0 {
+		t.Fatalf("churn produced no cache traffic: %+v", st)
+	}
+	if got := p.fp.len(); got > 8 {
+		t.Fatalf("cache exceeded its bound: %d > 8", got)
+	}
+}

@@ -17,6 +17,12 @@ type Stats struct {
 	ByType       map[sqlparse.StatementType]int64
 	NumTemplates int
 	ParseErrors  int64
+	// CacheHits and CacheMisses count observe-path fingerprint-cache
+	// outcomes; CacheEvictions counts entries displaced by the clock hand.
+	// All three stay zero when Options.FingerprintCacheSize is 0.
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
 }
 
 // Options configure a Preprocessor.
@@ -37,6 +43,12 @@ type Options struct {
 	// order); Snapshot writes a canonical layout-independent form (see
 	// snapshot.go). Shards=1 reproduces the historical sequential IDs.
 	Shards int
+	// FingerprintCacheSize bounds the raw-SQL→template fingerprint cache in
+	// entries; 0 disables it. The cache lets repeated query text skip
+	// lex/parse/normalize entirely (fpcache.go). It is pure derived state:
+	// enabling it changes no catalog state, no template IDs, and no snapshot
+	// bytes — only speed and the Cache* counters in Stats.
+	FingerprintCacheSize int
 }
 
 // Preprocessor ingests raw queries and maintains the template catalog. It is
@@ -53,6 +65,9 @@ type Preprocessor struct {
 	shardBits uint
 	// qb5000:guardedby atomic
 	parseErrors atomic.Int64
+	// fp is the raw-SQL fingerprint cache; nil when disabled. The pointer is
+	// immutable after New; the cache synchronizes internally.
+	fp *fpCache
 }
 
 // catalogShard is one stripe of the template catalog. Templates are assigned
@@ -110,6 +125,7 @@ func New(opts Options) *Preprocessor {
 	for 1<<p.shardBits < n {
 		p.shardBits++
 	}
+	p.fp = newFPCache(opts.FingerprintCacheSize, n)
 	for i := range p.shards {
 		sh := &p.shards[i]
 		sh.idx = int64(i)
@@ -167,16 +183,59 @@ func (p *Preprocessor) ProcessBatch(raw string, at time.Time, count int64) (*Tem
 }
 
 func (p *Preprocessor) processN(raw string, at time.Time, count int64) (*Template, error) {
+	if p.fp != nil {
+		if t := p.foldFingerprint(raw, at, count); t != nil {
+			return t, nil
+		}
+	}
 	res, err := Templatize(raw)
 	if err != nil {
 		p.parseErrors.Add(1)
 		return nil, fmt.Errorf("preprocess: %w", err)
 	}
 	key := res.Features.SemanticKey()
-	sh := p.shardFor(key)
+	vals := renderParams(res.Params)
+	ix := p.shardIndex(key)
+	sh := &p.shards[ix]
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.fold(p, res, key, at, count), nil
+	t := sh.fold(p, res, key, vals, at, count)
+	sh.mu.Unlock()
+	if p.fp != nil {
+		p.fp.insert(raw, t.ID, ix, vals, int64(res.BatchSize), res.Stmt.Type())
+	}
+	return t, nil
+}
+
+// foldFingerprint is the observe fast path: resolve raw through the
+// fingerprint cache and fold straight into the owning stripe, skipping
+// lex/parse/normalize entirely. It allocates nothing in steady state. A nil
+// return means the caller must take the full templatize path: either no
+// entry exists, or the cached template was evicted underneath the entry —
+// the stripe's byID index is re-checked under its lock, so a stale entry can
+// never resurrect a dead template ID.
+func (p *Preprocessor) foldFingerprint(raw string, at time.Time, count int64) *Template {
+	e := p.fp.lookup(raw)
+	if e == nil {
+		p.fp.misses.Add(1)
+		return nil
+	}
+	sh := &p.shards[e.stripe]
+	sh.mu.Lock()
+	t, ok := sh.byID[e.id]
+	if !ok {
+		sh.mu.Unlock()
+		// Maintain evicted the template after the entry was cached; drop
+		// the stale mapping and re-templatize fresh. Identical raw bytes
+		// always map to the same semantic key, so the re-fold lands on this
+		// same stripe and mints a brand-new ID.
+		p.fp.invalidate(raw, e)
+		p.fp.misses.Add(1)
+		return nil
+	}
+	sh.foldExisting(t, e.vals, e.batch, e.stmt, at, count)
+	sh.mu.Unlock()
+	p.fp.hits.Add(1)
+	return t
 }
 
 // Observation is one query arrival for the batch ingest path.
@@ -203,7 +262,18 @@ func (p *Preprocessor) ProcessMany(obs []Observation) (ingested, rejected int64)
 	type parsedObs struct {
 		res   *TemplatizeResult
 		key   string
+		vals  []string
+		ent   *fpEntry // fingerprint-cache hit; res/key/vals unset
 		obsIx int
+	}
+	// cacheInsert defers fingerprint-cache updates for this call's parses
+	// until the stripe locks are released.
+	type cacheInsert struct {
+		raw   string
+		id    int64
+		vals  []string
+		batch int64
+		stmt  sqlparse.StatementType
 	}
 	buckets := make([][]parsedObs, len(p.shards))
 	for i := range obs {
@@ -211,6 +281,16 @@ func (p *Preprocessor) ProcessMany(obs []Observation) (ingested, rejected int64)
 		if o.Count < 0 {
 			rejected++
 			continue
+		}
+		if p.fp != nil {
+			if e := p.fp.lookup(o.SQL); e != nil {
+				// Defer the liveness check to the fold loop: stripe order
+				// and per-stripe input order must match the cache-off path
+				// exactly, so a hit folds in sequence with the misses.
+				buckets[e.stripe] = append(buckets[e.stripe], parsedObs{ent: e, obsIx: i})
+				continue
+			}
+			p.fp.misses.Add(1)
 		}
 		res, err := Templatize(o.SQL)
 		if err != nil {
@@ -224,8 +304,10 @@ func (p *Preprocessor) ProcessMany(obs []Observation) (ingested, rejected int64)
 		}
 		key := res.Features.SemanticKey()
 		ix := p.shardIndex(key)
-		buckets[ix] = append(buckets[ix], parsedObs{res: res, key: key, obsIx: i})
+		buckets[ix] = append(buckets[ix], parsedObs{res: res, key: key, vals: renderParams(res.Params), obsIx: i})
 	}
+	var inserts []cacheInsert
+	var stale []*fpEntry
 	for ix, bucket := range buckets {
 		if len(bucket) == 0 {
 			continue
@@ -238,19 +320,64 @@ func (p *Preprocessor) ProcessMany(obs []Observation) (ingested, rejected int64)
 			if count == 0 {
 				count = 1
 			}
-			sh.fold(p, po.res, po.key, o.At, count)
+			if po.ent != nil {
+				if t, ok := sh.byID[po.ent.id]; ok {
+					sh.foldExisting(t, po.ent.vals, po.ent.batch, po.ent.stmt, o.At, count)
+					ingested += count
+					p.fp.hits.Add(1)
+					continue
+				}
+				// The template was evicted after the entry was cached.
+				// Re-templatize under the stripe lock (identical raw bytes
+				// map to the same key, hence this same stripe) — rare
+				// enough that holding the lock across one parse is cheaper
+				// than re-bucketing the whole batch.
+				stale = append(stale, po.ent)
+				p.fp.misses.Add(1)
+				res, err := Templatize(o.SQL)
+				if err != nil {
+					// Unreachable for text that parsed when it was cached,
+					// but degrade exactly like the scan-phase reject path.
+					p.parseErrors.Add(1)
+					rejected += count
+					continue
+				}
+				po.res = res
+				po.key = res.Features.SemanticKey()
+				po.vals = renderParams(res.Params)
+			}
+			t := sh.fold(p, po.res, po.key, po.vals, o.At, count)
 			ingested += count
+			if p.fp != nil {
+				inserts = append(inserts, cacheInsert{
+					raw:   o.SQL,
+					id:    t.ID,
+					vals:  po.vals,
+					batch: int64(po.res.BatchSize),
+					stmt:  po.res.Stmt.Type(),
+				})
+			}
 		}
 		sh.mu.Unlock()
+		for _, e := range stale {
+			p.fp.invalidate(e.raw, e)
+		}
+		stale = stale[:0]
+		for _, ci := range inserts {
+			p.fp.insert(ci.raw, ci.id, ix, ci.vals, ci.batch, ci.stmt)
+		}
+		inserts = inserts[:0]
 	}
 	return ingested, rejected
 }
 
 // fold records count arrivals of a parsed query into the stripe, creating
-// the template on first sight.
+// the template on first sight. vals are the query's parameter literals
+// pre-rendered by renderParams (callers also hand them to the fingerprint
+// cache, so they are rendered exactly once per parse).
 //
 // qb5000:locked mu
-func (s *catalogShard) fold(p *Preprocessor, res *TemplatizeResult, key string, at time.Time, count int64) *Template {
+func (s *catalogShard) fold(p *Preprocessor, res *TemplatizeResult, key string, vals []string, at time.Time, count int64) *Template {
 	t, ok := s.templates[key]
 	if !ok {
 		s.nextSeq++
@@ -269,15 +396,26 @@ func (s *catalogShard) fold(p *Preprocessor, res *TemplatizeResult, key string, 
 		s.byID[id] = t
 		s.newSinceMark++
 	}
-	t.Record(at, res.Params)
+	s.foldExisting(t, vals, int64(res.BatchSize), res.Stmt.Type(), at, count)
+	return t
+}
+
+// foldExisting folds count arrivals into an already-live template. It is the
+// single shared tail of both observe paths — the cache hit replays the vals,
+// batch size, and statement type captured at its entry's one real parse — so
+// hit and miss mutate the catalog bit-for-bit identically and enabling the
+// cache can never change template IDs, reservoir streams, or snapshots.
+//
+// qb5000:locked mu
+func (s *catalogShard) foldExisting(t *Template, vals []string, batch int64, stmt sqlparse.StatementType, at time.Time, count int64) {
+	t.recordVals(at, vals)
 	if count > 1 {
 		t.Count += count - 1
 		t.History.Record(at, float64(count-1))
 	}
-	t.Tuples += count * int64(res.BatchSize)
+	t.Tuples += count * batch
 	s.totalQueries += count
-	s.byType[res.Stmt.Type()] += count
-	return t
+	s.byType[stmt] += count
 }
 
 // Templates returns a snapshot of the catalog sorted by template ID. The
@@ -382,6 +520,11 @@ func (p *Preprocessor) Stats() Stats {
 		p.shards[i].statsInto(&s)
 	}
 	s.ParseErrors = p.parseErrors.Load()
+	if p.fp != nil {
+		s.CacheHits = p.fp.hits.Load()
+		s.CacheMisses = p.fp.misses.Load()
+		s.CacheEvictions = p.fp.evictions.Load()
+	}
 	return s
 }
 
@@ -439,6 +582,19 @@ func (p *Preprocessor) Maintain(now time.Time) []*Template {
 	var evicted []*Template
 	for i := range p.shards {
 		evicted = p.shards[i].maintain(p.opts.EvictAfter, now, evicted)
+	}
+	// Keep the fingerprint cache coherent: drop every entry pointing at an
+	// evicted template. The hit path re-checks byID under the stripe lock as
+	// well, so a mapping that slips back in between a stripe's eviction and
+	// this sweep (or is inserted concurrently) still can only miss — the
+	// sweep bounds stale-entry lifetime, the byID check guarantees a dead ID
+	// is never resurrected.
+	if p.fp != nil && len(evicted) > 0 {
+		dead := make(map[int64]struct{}, len(evicted))
+		for _, t := range evicted {
+			dead[t.ID] = struct{}{}
+		}
+		p.fp.invalidateIDs(dead)
 	}
 	sort.Slice(evicted, func(i, j int) bool { return evicted[i].ID < evicted[j].ID })
 	return evicted

@@ -74,6 +74,11 @@ func (p *Preprocessor) Snapshot(w io.Writer) error {
 
 	opts := p.opts
 	opts.Shards = 0 // snapshots are catalog-layout-independent
+	// The fingerprint cache is pure derived state (a hit mutates the catalog
+	// exactly as its miss would have), so it is deliberately excluded: a
+	// cache-enabled catalog snapshots byte-identically to a disabled one,
+	// and restores decide their own cache size.
+	opts.FingerprintCacheSize = 0
 	dto := snapshotDTO{
 		Version: snapshotVersion,
 		Opts:    opts,
@@ -140,6 +145,13 @@ func RestoreSnapshot(r io.Reader) (*Preprocessor, error) {
 // IDs; every stripe's ID sequence starts above the restored maximum, so
 // templates created after the restore can never collide with a restored ID.
 func RestoreSnapshotShards(r io.Reader, shards int) (*Preprocessor, error) {
+	return RestoreSnapshotCache(r, shards, 0)
+}
+
+// RestoreSnapshotCache is RestoreSnapshotShards with the fingerprint cache
+// enabled at the given entry bound (0 = disabled). Snapshots never carry the
+// cache — it is derived state — so the restoring configuration decides it.
+func RestoreSnapshotCache(r io.Reader, shards, fpCacheSize int) (*Preprocessor, error) {
 	var dto snapshotDTO
 	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
 		return nil, fmt.Errorf("preprocess: restore: %w", err)
@@ -149,6 +161,7 @@ func RestoreSnapshotShards(r io.Reader, shards int) (*Preprocessor, error) {
 	}
 	opts := dto.Opts
 	opts.Shards = shards
+	opts.FingerprintCacheSize = fpCacheSize
 	p := New(opts)
 	var maxID int64
 	for _, td := range dto.Templates {

@@ -103,6 +103,14 @@ func (t *Template) Clone() *Template {
 
 // Record notes one arrival of the template at time t.
 func (t *Template) Record(at time.Time, params []Param) {
+	t.recordVals(at, renderParams(params))
+}
+
+// recordVals is Record with the parameter literals already rendered. The
+// fingerprint-cache hit path calls it with the vals captured at the entry's
+// one real parse, so a hit feeds the reservoir the exact stream a miss
+// would without re-rendering (or allocating) per arrival.
+func (t *Template) recordVals(at time.Time, vals []string) {
 	t.Count++
 	if t.Count == 1 || at.Before(t.FirstSeen) {
 		t.FirstSeen = at
@@ -111,13 +119,22 @@ func (t *Template) Record(at time.Time, params []Param) {
 		t.LastSeen = at
 	}
 	t.History.Record(at, 1)
-	if len(params) > 0 {
-		vals := make([]string, len(params))
-		for i, p := range params {
-			vals[i] = p.SQL()
-		}
+	if len(vals) > 0 {
 		t.Params.Observe(vals)
 	}
+}
+
+// renderParams renders each extracted parameter as the SQL literal the
+// reservoir samples; nil for a parameter-free statement.
+func renderParams(params []Param) []string {
+	if len(params) == 0 {
+		return nil
+	}
+	vals := make([]string, len(params))
+	for i, p := range params {
+		vals[i] = p.SQL()
+	}
+	return vals
 }
 
 // SQL renders the parameter as a SQL literal, so sampled parameters can be

@@ -11,7 +11,6 @@ package sqlparse
 
 import (
 	"fmt"
-	"strings"
 )
 
 // TokenKind classifies lexical tokens.
@@ -45,17 +44,54 @@ func (t Token) String() string {
 	return fmt.Sprintf("%s@%d", t.Text, t.Pos)
 }
 
-// keywords recognized by the lexer; matched case-insensitively.
-var keywords = map[string]bool{
-	"SELECT": true, "FROM": true, "WHERE": true, "INSERT": true, "INTO": true,
-	"VALUES": true, "UPDATE": true, "SET": true, "DELETE": true, "AND": true,
-	"OR": true, "NOT": true, "NULL": true, "IN": true, "BETWEEN": true,
-	"LIKE": true, "IS": true, "JOIN": true, "INNER": true, "LEFT": true,
-	"RIGHT": true, "OUTER": true, "ON": true, "AS": true, "ORDER": true,
-	"BY": true, "GROUP": true, "HAVING": true, "LIMIT": true, "OFFSET": true,
-	"ASC": true, "DESC": true, "DISTINCT": true, "TRUE": true, "FALSE": true,
-	"EXISTS": true, "UNION": true, "ALL": true, "CASE": true, "WHEN": true,
-	"THEN": true, "ELSE": true, "END": true,
+// keywordText maps the upper-cased spelling of every keyword to its one
+// interned canonical string, so keyword tokens never allocate: the lexer
+// upper-cases candidate words into a stack buffer and the map lookup hands
+// back the shared constant (matched case-insensitively).
+var keywordText = map[string]string{
+	"SELECT": "SELECT", "FROM": "FROM", "WHERE": "WHERE", "INSERT": "INSERT",
+	"INTO": "INTO", "VALUES": "VALUES", "UPDATE": "UPDATE", "SET": "SET",
+	"DELETE": "DELETE", "AND": "AND", "OR": "OR", "NOT": "NOT", "NULL": "NULL",
+	"IN": "IN", "BETWEEN": "BETWEEN", "LIKE": "LIKE", "IS": "IS",
+	"JOIN": "JOIN", "INNER": "INNER", "LEFT": "LEFT", "RIGHT": "RIGHT",
+	"OUTER": "OUTER", "ON": "ON", "AS": "AS", "ORDER": "ORDER", "BY": "BY",
+	"GROUP": "GROUP", "HAVING": "HAVING", "LIMIT": "LIMIT", "OFFSET": "OFFSET",
+	"ASC": "ASC", "DESC": "DESC", "DISTINCT": "DISTINCT", "TRUE": "TRUE",
+	"FALSE": "FALSE", "EXISTS": "EXISTS", "UNION": "UNION", "ALL": "ALL",
+	"CASE": "CASE", "WHEN": "WHEN", "THEN": "THEN", "ELSE": "ELSE",
+	"END": "END",
+}
+
+// maxKeywordLen bounds the stack scratch keywordFor upper-cases into; words
+// longer than every keyword skip the lookup entirely.
+var maxKeywordLen = func() int {
+	n := 0
+	for k := range keywordText {
+		if len(k) > n {
+			n = len(k)
+		}
+	}
+	return n
+}()
+
+// keywordFor reports whether word is a keyword (case-insensitively) and
+// returns its interned canonical upper-case text. It does not allocate: the
+// upper-cased copy lives in a stack buffer, and Go map lookups with a
+// string-converted byte slice key do not copy.
+func keywordFor(word string) (string, bool) {
+	if len(word) > maxKeywordLen || len(word) > 16 {
+		return "", false
+	}
+	var buf [16]byte
+	for i := 0; i < len(word); i++ {
+		c := word[i]
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		buf[i] = c
+	}
+	kw, ok := keywordText[string(buf[:len(word)])]
+	return kw, ok
 }
 
 // SyntaxError describes a lexing or parsing failure with its location.
@@ -69,9 +105,20 @@ func (e *SyntaxError) Error() string {
 	return fmt.Sprintf("sqlparse: %s at offset %d", e.Msg, e.Pos)
 }
 
-// Lex tokenizes a SQL string.
+// Lex tokenizes a SQL string into a freshly allocated token slice. The hot
+// observe path goes through Parse, which lexes into a pooled scratch buffer
+// instead; Lex stays for callers that retain the tokens.
 func Lex(input string) ([]Token, error) {
-	var toks []Token
+	return lexInto(nil, input)
+}
+
+// lexInto tokenizes input, appending to dst (typically a pooled buffer with
+// its length reset to zero) and returning the extended slice. It is a
+// single-index byte walk over the raw string: every token's Text is either a
+// substring of input, an interned keyword, or — only for string literals
+// that actually contain escapes — a freshly unescaped string, so steady
+// state lexing allocates nothing beyond amortized slice growth.
+func lexInto(dst []Token, input string) ([]Token, error) {
 	i := 0
 	n := len(input)
 	for i < n {
@@ -85,39 +132,21 @@ func Lex(input string) ([]Token, error) {
 				i++
 			}
 		case c == '/' && i+1 < n && input[i+1] == '*':
-			end := strings.Index(input[i+2:], "*/")
-			if end < 0 {
-				return nil, &SyntaxError{Pos: i, Msg: "unterminated block comment"}
+			j := i + 2
+			for j+1 < n && !(input[j] == '*' && input[j+1] == '/') {
+				j++
 			}
-			i += end + 4
+			if j+1 >= n {
+				return dst, &SyntaxError{Pos: i, Msg: "unterminated block comment"}
+			}
+			i = j + 2
 		case c == '\'':
-			start := i
-			i++
-			var sb strings.Builder
-			closed := false
-			for i < n {
-				if input[i] == '\'' {
-					if i+1 < n && input[i+1] == '\'' { // escaped quote
-						sb.WriteByte('\'')
-						i += 2
-						continue
-					}
-					closed = true
-					i++
-					break
-				}
-				if input[i] == '\\' && i+1 < n { // backslash escape
-					sb.WriteByte(input[i+1])
-					i += 2
-					continue
-				}
-				sb.WriteByte(input[i])
-				i++
+			text, next, serr := lexString(input, i)
+			if serr != nil {
+				return dst, serr
 			}
-			if !closed {
-				return nil, &SyntaxError{Pos: start, Msg: "unterminated string literal"}
-			}
-			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: start})
+			dst = append(dst, Token{Kind: TokString, Text: text, Pos: i})
+			i = next
 		case c == '"' || c == '`':
 			// Quoted identifier.
 			quote := c
@@ -128,9 +157,9 @@ func Lex(input string) ([]Token, error) {
 				j++
 			}
 			if j >= n {
-				return nil, &SyntaxError{Pos: start, Msg: "unterminated quoted identifier"}
+				return dst, &SyntaxError{Pos: start, Msg: "unterminated quoted identifier"}
 			}
-			toks = append(toks, Token{Kind: TokIdent, Text: input[i:j], Pos: start})
+			dst = append(dst, Token{Kind: TokIdent, Text: input[i:j], Pos: start})
 			i = j + 1
 		case isDigit(c) || (c == '.' && i+1 < n && isDigit(input[i+1])):
 			start := i
@@ -138,21 +167,20 @@ func Lex(input string) ([]Token, error) {
 				((input[i] == '+' || input[i] == '-') && i > start && (input[i-1] == 'e' || input[i-1] == 'E'))) {
 				i++
 			}
-			toks = append(toks, Token{Kind: TokNumber, Text: input[start:i], Pos: start})
+			dst = append(dst, Token{Kind: TokNumber, Text: input[start:i], Pos: start})
 		case isIdentStart(c):
 			start := i
 			for i < n && isIdentPart(input[i]) {
 				i++
 			}
 			word := input[start:i]
-			upper := strings.ToUpper(word)
-			if keywords[upper] {
-				toks = append(toks, Token{Kind: TokKeyword, Text: upper, Pos: start})
+			if kw, ok := keywordFor(word); ok {
+				dst = append(dst, Token{Kind: TokKeyword, Text: kw, Pos: start})
 			} else {
-				toks = append(toks, Token{Kind: TokIdent, Text: word, Pos: start})
+				dst = append(dst, Token{Kind: TokIdent, Text: word, Pos: start})
 			}
 		case c == '?':
-			toks = append(toks, Token{Kind: TokPlaceholder, Text: "?", Pos: i})
+			dst = append(dst, Token{Kind: TokPlaceholder, Text: "?", Pos: i})
 			i++
 		case c == '$' && i+1 < n && isDigit(input[i+1]):
 			start := i
@@ -160,54 +188,125 @@ func Lex(input string) ([]Token, error) {
 			for i < n && isDigit(input[i]) {
 				i++
 			}
-			toks = append(toks, Token{Kind: TokPlaceholder, Text: input[start:i], Pos: start})
+			dst = append(dst, Token{Kind: TokPlaceholder, Text: input[start:i], Pos: start})
 		case c == ',':
-			toks = append(toks, Token{Kind: TokComma, Text: ",", Pos: i})
+			dst = append(dst, Token{Kind: TokComma, Text: ",", Pos: i})
 			i++
 		case c == '(':
-			toks = append(toks, Token{Kind: TokLParen, Text: "(", Pos: i})
+			dst = append(dst, Token{Kind: TokLParen, Text: "(", Pos: i})
 			i++
 		case c == ')':
-			toks = append(toks, Token{Kind: TokRParen, Text: ")", Pos: i})
+			dst = append(dst, Token{Kind: TokRParen, Text: ")", Pos: i})
 			i++
 		case c == '.':
-			toks = append(toks, Token{Kind: TokDot, Text: ".", Pos: i})
+			dst = append(dst, Token{Kind: TokDot, Text: ".", Pos: i})
 			i++
 		case c == ';':
-			toks = append(toks, Token{Kind: TokSemicolon, Text: ";", Pos: i})
+			dst = append(dst, Token{Kind: TokSemicolon, Text: ";", Pos: i})
 			i++
 		case c == '<':
 			if i+1 < n && (input[i+1] == '=' || input[i+1] == '>') {
-				toks = append(toks, Token{Kind: TokOperator, Text: input[i : i+2], Pos: i})
+				dst = append(dst, Token{Kind: TokOperator, Text: input[i : i+2], Pos: i})
 				i += 2
 			} else {
-				toks = append(toks, Token{Kind: TokOperator, Text: "<", Pos: i})
+				dst = append(dst, Token{Kind: TokOperator, Text: "<", Pos: i})
 				i++
 			}
 		case c == '>':
 			if i+1 < n && input[i+1] == '=' {
-				toks = append(toks, Token{Kind: TokOperator, Text: ">=", Pos: i})
+				dst = append(dst, Token{Kind: TokOperator, Text: ">=", Pos: i})
 				i += 2
 			} else {
-				toks = append(toks, Token{Kind: TokOperator, Text: ">", Pos: i})
+				dst = append(dst, Token{Kind: TokOperator, Text: ">", Pos: i})
 				i++
 			}
 		case c == '!':
 			if i+1 < n && input[i+1] == '=' {
-				toks = append(toks, Token{Kind: TokOperator, Text: "!=", Pos: i})
+				dst = append(dst, Token{Kind: TokOperator, Text: "!=", Pos: i})
 				i += 2
 			} else {
-				return nil, &SyntaxError{Pos: i, Msg: "unexpected '!'"}
+				return dst, &SyntaxError{Pos: i, Msg: "unexpected '!'"}
 			}
 		case c == '=' || c == '+' || c == '-' || c == '*' || c == '/' || c == '%':
-			toks = append(toks, Token{Kind: TokOperator, Text: string(c), Pos: i})
+			dst = append(dst, Token{Kind: TokOperator, Text: opText(c), Pos: i})
 			i++
 		default:
-			return nil, &SyntaxError{Pos: i, Msg: fmt.Sprintf("unexpected character %q", rune(c))}
+			return dst, &SyntaxError{Pos: i, Msg: fmt.Sprintf("unexpected character %q", rune(c))}
 		}
 	}
-	toks = append(toks, Token{Kind: TokEOF, Text: "", Pos: n})
-	return toks, nil
+	dst = append(dst, Token{Kind: TokEOF, Text: "", Pos: n})
+	return dst, nil
+}
+
+// opText returns the interned one-byte operator text so single-character
+// operator tokens never allocate a fresh string.
+func opText(c byte) string {
+	switch c {
+	case '=':
+		return "="
+	case '+':
+		return "+"
+	case '-':
+		return "-"
+	case '*':
+		return "*"
+	case '/':
+		return "/"
+	case '%':
+		return "%"
+	}
+	return string(c)
+}
+
+// lexString scans the single-quoted literal starting at input[start] ('),
+// returning its unescaped text and the index past the closing quote.
+// Literals without escapes — the overwhelmingly common case — return a
+// substring of input and allocate nothing; only doubled-quote and
+// backslash escapes fall back to building the unescaped copy.
+func lexString(input string, start int) (string, int, *SyntaxError) {
+	n := len(input)
+	i := start + 1
+	for i < n {
+		c := input[i]
+		if c == '\'' {
+			if i+1 < n && input[i+1] == '\'' {
+				// Escaped quote: take the slow path from the top.
+				return lexStringSlow(input, start)
+			}
+			return input[start+1 : i], i + 1, nil
+		}
+		if c == '\\' && i+1 < n {
+			return lexStringSlow(input, start)
+		}
+		i++
+	}
+	return "", n, &SyntaxError{Pos: start, Msg: "unterminated string literal"}
+}
+
+// lexStringSlow unescapes a string literal that contains doubled-quote or
+// backslash escapes into a fresh buffer.
+func lexStringSlow(input string, start int) (string, int, *SyntaxError) {
+	n := len(input)
+	i := start + 1
+	buf := make([]byte, 0, 16)
+	for i < n {
+		if input[i] == '\'' {
+			if i+1 < n && input[i+1] == '\'' { // escaped quote
+				buf = append(buf, '\'')
+				i += 2
+				continue
+			}
+			return string(buf), i + 1, nil
+		}
+		if input[i] == '\\' && i+1 < n { // backslash escape
+			buf = append(buf, input[i+1])
+			i += 2
+			continue
+		}
+		buf = append(buf, input[i])
+		i++
+	}
+	return "", n, &SyntaxError{Pos: start, Msg: "unterminated string literal"}
 }
 
 func isDigit(c byte) bool { return c >= '0' && c <= '9' }

@@ -3,15 +3,38 @@ package sqlparse
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
-// Parse parses a single SQL statement.
+// parseScratch recycles the token buffer (and the parser frame pointing into
+// it) across Parse calls. Tokens reference substrings of the immutable input
+// or interned keyword strings, and the AST copies nothing but those strings,
+// so nothing retains the buffer past the Parse call that filled it.
+type parseScratch struct {
+	toks []Token
+	p    parser
+}
+
+var scratchPool = sync.Pool{
+	New: func() any { return &parseScratch{toks: make([]Token, 0, 64)} },
+}
+
+// Parse parses a single SQL statement. The lexer runs into a pooled token
+// buffer, so steady-state parsing of typical statements allocates only the
+// AST nodes themselves.
 func Parse(input string) (Statement, error) {
-	toks, err := Lex(input)
+	sc := scratchPool.Get().(*parseScratch)
+	defer func() {
+		sc.p = parser{}
+		scratchPool.Put(sc)
+	}()
+	toks, err := lexInto(sc.toks[:0], input)
+	sc.toks = toks // keep any growth for the next caller
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
+	sc.p = parser{toks: toks}
+	p := &sc.p
 	stmt, err := p.parseStatement()
 	if err != nil {
 		return nil, err

@@ -76,6 +76,15 @@ type Config struct {
 	// byte-for-byte across shard counts. Pin to 1 when template IDs must
 	// reproduce across machines with different core counts.
 	Shards int
+	// FingerprintCacheSize bounds the raw-SQL→template fingerprint cache, in
+	// entries across the whole cache; 0 (the default) disables it. When
+	// enabled, Observe of a raw query string seen before skips parsing and
+	// templatization entirely and folds straight into the catalog — the hot
+	// path for production workloads, where the same literal query text
+	// repeats millions of times. Hits replay exactly the catalog mutations
+	// their misses would have performed, so forecasts, template IDs, and Save
+	// snapshots are bit-identical with the cache on or off.
+	FingerprintCacheSize int
 }
 
 // Forecaster is the public QB5000 instance. It is safe for concurrent use
@@ -112,6 +121,8 @@ func New(cfg Config) *Forecaster {
 		LearnRate:      cfg.LearnRate,
 		Parallelism:    cfg.Parallelism,
 		Shards:         cfg.Shards,
+
+		FingerprintCacheSize: cfg.FingerprintCacheSize,
 	})}
 }
 
@@ -246,6 +257,15 @@ type Stats struct {
 	TrackedClusters int
 	// ParseErrors counts queries the template parser rejected.
 	ParseErrors int64
+	// CacheHits counts observes served by the fingerprint cache (raw SQL
+	// seen before; no parse). Zero when the cache is disabled.
+	CacheHits int64
+	// CacheMisses counts observes that took the full templatize path while
+	// the cache was enabled.
+	CacheMisses int64
+	// CacheEvictions counts fingerprint-cache entries displaced by the
+	// clock-hand eviction when a cache shard was full.
+	CacheEvictions int64
 }
 
 // Stats reports the current reduction statistics (cf. paper Table 2). It
@@ -259,6 +279,9 @@ func (f *Forecaster) Stats() Stats {
 		Clusters:        f.ctl.Clusterer().Len(),
 		TrackedClusters: len(f.ctl.Tracked()),
 		ParseErrors:     ps.ParseErrors,
+		CacheHits:       ps.CacheHits,
+		CacheMisses:     ps.CacheMisses,
+		CacheEvictions:  ps.CacheEvictions,
 	}
 }
 
@@ -341,6 +364,8 @@ func Load(cfg Config, r io.Reader) (*Forecaster, error) {
 		LearnRate:      cfg.LearnRate,
 		Parallelism:    cfg.Parallelism,
 		Shards:         cfg.Shards,
+
+		FingerprintCacheSize: cfg.FingerprintCacheSize,
 	}, r)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,6 @@
+//go:build !race
+
+package qb5000
+
+// raceEnabled reports whether the race detector instrumented this build.
+const raceEnabled = false
