@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short cover bench bench-ingest bench-gate bench-baseline race lint ci experiments experiments-quick vet vet-graph fmt clean fuzz-smoke
+.PHONY: all build test test-short cover bench bench-ingest bench-gate bench-baseline race lint ci experiments experiments-quick vet vet-graph vet-lockgraph fmt clean fuzz-smoke
 
 all: build test
 
@@ -84,6 +84,17 @@ vet-graph:
 		dot -Tsvg callgraph.dot -o callgraph.svg && echo "wrote callgraph.svg"; \
 	else \
 		echo "wrote callgraph.dot (install graphviz to render)"; \
+	fi
+
+# Dump the lock-acquisition order graph the lockorder analyzer assembles:
+# one node per lock class, dashed declared edges, dotted via-call edges,
+# red edges on a cycle.
+vet-lockgraph:
+	$(GO) run ./cmd/qb5000vet -lockgraph ./... > lockgraph.dot
+	@if command -v dot >/dev/null 2>&1; then \
+		dot -Tsvg lockgraph.dot -o lockgraph.svg && echo "wrote lockgraph.svg"; \
+	else \
+		echo "wrote lockgraph.dot (install graphviz to render)"; \
 	fi
 
 fmt:

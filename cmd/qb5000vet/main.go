@@ -20,6 +20,7 @@
 //	-write-baseline=FILE      record current findings as the accepted baseline
 //	-debt                     report //lint:ignore suppressions per analyzer
 //	-graph                    emit the interprocedural call graph as DOT
+//	-lockgraph                emit the lock-acquisition order graph as DOT
 //	-list                     list the analyzers and exit
 package main
 
@@ -40,6 +41,7 @@ func main() {
 		writeBaseline = flag.String("write-baseline", "", "write current findings to this baseline file and exit")
 		debt          = flag.Bool("debt", false, "report //lint:ignore suppression debt per analyzer and exit")
 		graph         = flag.Bool("graph", false, "emit the interprocedural call graph as DOT and exit")
+		lockgraph     = flag.Bool("lockgraph", false, "emit the lock-acquisition order graph as DOT and exit")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: qb5000vet [flags] [packages]\n\n")
@@ -85,6 +87,13 @@ func main() {
 
 	if *graph {
 		if err := lint.WriteDOT(os.Stdout, prog.Graph); err != nil {
+			fmt.Fprintln(os.Stderr, "qb5000vet:", err)
+			os.Exit(2)
+		}
+		return
+	}
+	if *lockgraph {
+		if err := lint.WriteLockDOT(os.Stdout, prog.LockGraph()); err != nil {
 			fmt.Fprintln(os.Stderr, "qb5000vet:", err)
 			os.Exit(2)
 		}

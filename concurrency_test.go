@@ -244,6 +244,115 @@ func TestShardedIngestStress(t *testing.T) {
 	})
 }
 
+// TestDeadlockSentinel is the lockorder analyzer's dynamic counterpart: it
+// drives the exact lock neighborhood the static analyzer models — fpShard
+// RLock→read→RUnlock on cache hits, catalogShard fold locks, the fpCache
+// insert/evict path (a deliberately tiny cache keeps clock evictions
+// constant), and the Maintain loop that sweeps both layers — and fails with
+// a full goroutine dump if the storm wedges instead of finishing. The
+// workload runs off the test goroutine so a deadlock cannot take the test
+// binary's timeout machinery down with it; all failures inside use Errorf,
+// which is safe off-goroutine. Run under -race in CI.
+func TestDeadlockSentinel(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		leakcheck.Check(t, func() {
+			f, to := replayForecaster(t, Config{
+				Model:       "LR",
+				Horizons:    []time.Duration{time.Hour},
+				Seed:        7,
+				Parallelism: 2,
+				// Tiny on purpose: every batch both hits and evicts, so the
+				// cache's lock traffic interleaves with catalog folds.
+				FingerprintCacheSize: 32,
+			})
+			ingesters := runtime.GOMAXPROCS(0)
+			if ingesters < 2 {
+				ingesters = 2
+			}
+			const batches, perBatch = 12, 24
+			var loops, ing sync.WaitGroup
+			stop := make(chan struct{})
+
+			// Readers cross the forecast/stats/snapshot locks against ingest.
+			for g := 0; g < 2; g++ {
+				loops.Add(1)
+				go func() {
+					defer loops.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						if _, err := f.Forecast(time.Hour); err != nil {
+							t.Errorf("forecast during sentinel storm: %v", err)
+							return
+						}
+						f.Stats()
+						f.Templates()
+					}
+				}()
+			}
+
+			// Maintenance churns template eviction and the cache sweep, the
+			// path that nests cache-shard locks under the maintain lock.
+			loops.Add(1)
+			go func() {
+				defer loops.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if err := f.Maintain(to.Add(time.Duration(i+1) * time.Minute)); err != nil {
+						t.Errorf("maintain during sentinel storm: %v", err)
+						return
+					}
+				}
+			}()
+
+			// Ingesters repeat a small pool (cache hits) while distinct texts
+			// cycle through (insert + clock eviction churn).
+			for g := 0; g < ingesters; g++ {
+				ing.Add(1)
+				go func(g int) {
+					defer ing.Done()
+					for b := 0; b < batches; b++ {
+						obs := make([]Observation, 0, perBatch)
+						at := to.Add(time.Duration(b) * time.Minute)
+						for i := 0; i < perBatch; i++ {
+							obs = append(obs, Observation{
+								SQL:   fmt.Sprintf("SELECT v FROM sentinel%d WHERE k = %d", (g+i)%5, i%40),
+								At:    at,
+								Count: 1,
+							})
+						}
+						if res := f.ObserveMany(obs); res.Rejected != 0 {
+							t.Errorf("goroutine %d: %d rejected", g, res.Rejected)
+							return
+						}
+					}
+				}(g)
+			}
+
+			ing.Wait()
+			close(stop)
+			loops.Wait()
+		})
+	}()
+
+	select {
+	case <-done:
+	case <-time.After(2 * time.Minute):
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("deadlock sentinel tripped: the ingest/maintain/read storm did not finish within 2m; goroutine dump:\n%s", buf[:n])
+	}
+}
+
 // TestSaveBytesIdenticalAcrossShards pins the catalog determinism contract
 // at the public API: Save emits byte-identical snapshots whether ingest ran
 // over 1, 2, or 8 stripes — and, since the fingerprint cache is pure derived

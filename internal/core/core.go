@@ -204,6 +204,8 @@ func New(cfg Config) *Controller {
 }
 
 // storeMaxNS CAS-raises a to ns; 0 means "unset" and always loses.
+//
+// qb5000:noalloc
 func storeMaxNS(a *atomic.Int64, ns int64) {
 	for {
 		cur := a.Load()
@@ -217,6 +219,8 @@ func storeMaxNS(a *atomic.Int64, ns int64) {
 }
 
 // storeMinNS CAS-lowers a to ns; 0 means "unset" and always loses.
+//
+// qb5000:noalloc
 func storeMinNS(a *atomic.Int64, ns int64) {
 	for {
 		cur := a.Load()
@@ -230,6 +234,8 @@ func storeMinNS(a *atomic.Int64, ns int64) {
 }
 
 // noteSeen advances the ingest clock bounds.
+//
+// qb5000:noalloc
 func (c *Controller) noteSeen(at time.Time) {
 	if at.IsZero() {
 		return

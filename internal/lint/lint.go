@@ -47,7 +47,7 @@ type Analyzer struct {
 }
 
 // All is the full qb5000vet suite.
-var All = []*Analyzer{SeededRand, NoClock, MapOrder, CtxFirst, FloatEq, GuardedBy, SliceShare, ErrFlow, GoLeak, CtxProp, HandleLife}
+var All = []*Analyzer{SeededRand, NoClock, MapOrder, CtxFirst, FloatEq, GuardedBy, SliceShare, ErrFlow, GoLeak, CtxProp, HandleLife, LockOrder, NoAlloc}
 
 // A Pass carries one type-checked package through the analyzers.
 type Pass struct {
@@ -60,6 +60,10 @@ type Pass struct {
 	// every unit of the run. The summary-based analyzers degrade to their
 	// purely local checks when it is nil.
 	Prog *Program
+
+	// Unit is the package unit under analysis, so program-wide analyzers
+	// (lockorder) can attribute their per-unit findings.
+	Unit *Package
 
 	analyzer *Analyzer
 	findings []Finding
@@ -108,7 +112,7 @@ func Run(pkg *Package, analyzers []*Analyzer) []Finding {
 // findings that survive //lint:ignore suppression, plus any
 // directive-hygiene findings, sorted by position.
 func (prog *Program) Run(pkg *Package, analyzers []*Analyzer) []Finding {
-	pass := &Pass{Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info, Prog: prog}
+	pass := &Pass{Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info, Prog: prog, Unit: pkg}
 	for _, a := range analyzers {
 		pass.analyzer = a
 		a.Run(pass)
@@ -175,10 +179,25 @@ var knownAnalyzers = func() map[string]bool {
 	return m
 }()
 
+// annotationKeyRe matches the key of any qb5000: source annotation. It is
+// anchored so the indented example blocks in doc comments (`//\t// qb5000:…`)
+// do not match.
+var annotationKeyRe = regexp.MustCompile(`^//\s*qb5000:([A-Za-z0-9_-]+)`)
+
+// knownAnnotationKeys is the full annotation grammar; a typo'd key
+// (qb5000:noalock) would otherwise be silently ignored, quietly voiding the
+// contract it meant to declare.
+var knownAnnotationKeys = map[string]bool{
+	"guardedby": true,
+	"locked":    true,
+	"lockorder": true,
+	"noalloc":   true,
+}
+
 // directives scans comments for //lint:ignore markers. It returns the
 // suppression table plus hygiene findings (reported under the pseudo-analyzer
 // "lint") for directives that omit the mandatory reason or name an unknown
-// analyzer.
+// analyzer, and for qb5000: annotations whose key is not in the grammar.
 func directives(fset *token.FileSet, files []*ast.File) (suppressions, []Finding) {
 	sup := make(suppressions)
 	var bad []Finding
@@ -188,6 +207,10 @@ func directives(fset *token.FileSet, files []*ast.File) (suppressions, []Finding
 	for _, file := range files {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
+				if km := annotationKeyRe.FindStringSubmatch(c.Text); km != nil && !knownAnnotationKeys[km[1]] {
+					report(c.Pos(), "unknown qb5000: annotation key %q (known: guardedby, locked, lockorder, noalloc)", km[1])
+					continue
+				}
 				m := ignoreRe.FindStringSubmatch(c.Text)
 				if m == nil {
 					continue
@@ -204,7 +227,7 @@ func directives(fset *token.FileSet, files []*ast.File) (suppressions, []Finding
 				pos := fset.Position(c.Pos())
 				for _, name := range strings.Split(names, ",") {
 					if !knownAnalyzers[name] {
-						report(c.Pos(), "lint:ignore names unknown analyzer %q (known: seededrand, noclock, maporder, ctxfirst, floateq, guardedby, sliceshare, errflow, goleak, ctxprop, handlelife)", name)
+						report(c.Pos(), "lint:ignore names unknown analyzer %q (known: seededrand, noclock, maporder, ctxfirst, floateq, guardedby, sliceshare, errflow, goleak, ctxprop, handlelife, lockorder, noalloc)", name)
 						continue
 					}
 					sup.add(name, pos.Filename, pos.Line)

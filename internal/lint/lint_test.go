@@ -96,6 +96,15 @@ func TestGoLeakGolden(t *testing.T)     { runGolden(t, GoLeak, "goleak", "fixtur
 func TestCtxPropGolden(t *testing.T)    { runGolden(t, CtxProp, "ctxprop", "fixture/ctxprop") }
 func TestHandleLifeGolden(t *testing.T) { runGolden(t, HandleLife, "handlelife", "fixture/handlelife") }
 
+func TestLockOrderGolden(t *testing.T) { runGolden(t, LockOrder, "lockorder", "fixture/lockorder") }
+func TestNoAllocGolden(t *testing.T)   { runGolden(t, NoAlloc, "noalloc", "fixture/noalloc") }
+
+// TestUnknownAnnotationKeyGolden checks the qb5000: key hygiene scan: a
+// typo'd annotation key is a finding, regardless of which analyzer runs.
+func TestUnknownAnnotationKeyGolden(t *testing.T) {
+	runGolden(t, NoAlloc, "qb5000key", "fixture/qb5000key")
+}
+
 // TestSuppression checks that valid //lint:ignore directives (leading,
 // trailing, and multi-analyzer) swallow findings, while directives naming a
 // different analyzer do not.

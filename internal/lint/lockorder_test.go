@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func loadLockOrderFixture(t *testing.T) (*Program, *Package) {
+	t.Helper()
+	pkg, err := LoadFixture(filepath.Join("testdata", "src", "lockorder"), "fixture/lockorder")
+	if err != nil {
+		t.Fatalf("loading lockorder fixture: %v", err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("lockorder fixture has type errors: %v", terr)
+	}
+	return NewProgram([]*Package{pkg}), pkg
+}
+
+// TestLockSummaryBits checks the two new interprocedural facts: Acquires
+// propagates lock classes over static call edges, and HeldAtExit captures
+// the lock()-helper shape.
+func TestLockSummaryBits(t *testing.T) {
+	prog, _ := loadLockOrderFixture(t)
+	sum := func(id string) *FuncSummary {
+		t.Helper()
+		s := prog.Summary("fixture/lockorder." + id)
+		if s == nil {
+			t.Fatalf("no summary for %s", id)
+		}
+		return s
+	}
+	if !sum("lockD").Acquires["lockorder.D.mu"] {
+		t.Error("lockD must have Acquires[lockorder.D.mu]")
+	}
+	if len(sum("lockD").HeldAtExit) != 0 {
+		t.Errorf("lockD releases what it takes; HeldAtExit = %v", sum("lockD").HeldAtExit)
+	}
+	if !sum("nestDUnderC").Acquires["lockorder.D.mu"] {
+		t.Error("nestDUnderC must inherit Acquires[lockorder.D.mu] from lockD")
+	}
+	if !sum("nestDUnderC").Acquires["lockorder.C.mu"] {
+		t.Error("nestDUnderC must have Acquires[lockorder.C.mu] from its own body")
+	}
+	if !sum("(H).lock").HeldAtExit["lockorder.H.mu"] {
+		t.Error("(*H).lock must have HeldAtExit[lockorder.H.mu]")
+	}
+	if !sum("(H).lock").Acquires["lockorder.H.mu"] {
+		t.Error("(*H).lock must have Acquires[lockorder.H.mu]")
+	}
+	// Spawned callees' lock traffic happens off this frame.
+	if sum("spawnOpaque").Acquires["lockorder.A.mu"] != true {
+		t.Error("spawnOpaque locks A.mu directly")
+	}
+}
+
+// TestAllocatesSummary checks the Allocates bit over the noalloc fixture:
+// plainly allocating helpers are marked, clean leaves are not.
+func TestAllocatesSummary(t *testing.T) {
+	pkg, err := LoadFixture(filepath.Join("testdata", "src", "noalloc"), "fixture/noalloc")
+	if err != nil {
+		t.Fatalf("loading noalloc fixture: %v", err)
+	}
+	prog := NewProgram([]*Package{pkg})
+	sum := func(id string) *FuncSummary {
+		t.Helper()
+		s := prog.Summary("fixture/noalloc." + id)
+		if s == nil {
+			t.Fatalf("no summary for %s", id)
+		}
+		return s
+	}
+	if !sum("makeSlice").Allocates {
+		t.Error("makeSlice must have Allocates (make)")
+	}
+	if !sum("callsHelper").Allocates {
+		t.Error("callsHelper must inherit Allocates from makeSlice")
+	}
+	if sum("leaf").Allocates {
+		t.Error("leaf must not have Allocates")
+	}
+	if sum("appendParam").Allocates {
+		t.Error("appendParam appends into caller-owned backing; must not have Allocates")
+	}
+}
+
+// TestLockGraphEdges checks the assembled order graph: edge kinds, cycle
+// marking, and the via-call provenance of summary-propagated acquisitions.
+func TestLockGraphEdges(t *testing.T) {
+	prog, _ := loadLockOrderFixture(t)
+	g := prog.LockGraph()
+	find := func(from, to string, declared bool) *LockEdge {
+		for _, e := range g.Edges {
+			if e.From == from && e.To == to && e.Declared == declared {
+				return e
+			}
+		}
+		return nil
+	}
+	ab := find("lockorder.A.mu", "lockorder.B.mu", false)
+	if ab == nil || !ab.InCycle || ab.ViaCall {
+		t.Errorf("A.mu→B.mu: want a direct in-cycle edge, got %+v", ab)
+	}
+	cd := find("lockorder.C.mu", "lockorder.D.mu", false)
+	if cd == nil || !cd.ViaCall || !cd.InCycle {
+		t.Errorf("C.mu→D.mu: want a via-call in-cycle edge, got %+v", cd)
+	}
+	ef := find("lockorder.E.mu", "lockorder.F.mu", true)
+	if ef == nil || !ef.InCycle {
+		t.Errorf("declared E.mu<F.mu: want an in-cycle declared edge, got %+v", ef)
+	}
+	if e := find("lockorder.S.mu", "lockorder.S.mu", false); e == nil || !e.InCycle {
+		t.Errorf("S.mu→S.mu: want a self-loop edge marked in-cycle, got %+v", e)
+	}
+}
+
+func TestWriteLockDOT(t *testing.T) {
+	prog, _ := loadLockOrderFixture(t)
+	var sb strings.Builder
+	if err := WriteLockDOT(&sb, prog.LockGraph()); err != nil {
+		t.Fatalf("WriteLockDOT: %v", err)
+	}
+	dot := sb.String()
+	for _, want := range []string{
+		"digraph qb5000_lockorder {",
+		`"lockorder.A.mu" -> "lockorder.B.mu" [color=red];`,
+		`"lockorder.C.mu" -> "lockorder.D.mu" [style=dotted, color=red];`,
+		`style=dashed, label="declared"`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+// TestLockOrderSelfDeclare checks the one annotation shape the golden fixture
+// cannot carry (a well-formed annotation line has no room for a want
+// comment): declaring a class ordered before itself.
+func TestLockOrderSelfDeclare(t *testing.T) {
+	dir := t.TempDir()
+	src := "package p\n\n// qb5000:lockorder p.T.mu < p.T.mu\n\nfunc f() {}\n"
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadFixture(dir, "fixture/selfdeclare")
+	if err != nil {
+		t.Fatalf("loading temp fixture: %v", err)
+	}
+	findings := Run(pkg, []*Analyzer{LockOrder})
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "an order must relate two distinct lock classes") {
+		t.Errorf("want exactly the self-declare finding, got %v", findings)
+	}
+}

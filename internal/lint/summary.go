@@ -41,9 +41,20 @@ type FuncSummary struct {
 	// AcquiresLock / ReleasesLock: the body calls Lock/RLock (resp.
 	// Unlock/RUnlock) on a sync.Mutex or sync.RWMutex.
 	AcquiresLock, ReleasesLock bool
+	// Allocates: the body performs a heap allocation the noalloc analyzer
+	// would flag (make/new, escaping composites, fmt, conversions, closures,
+	// map writes, goroutine spawns), directly or via a static non-go callee.
+	Allocates bool
 	// Closes marks parameters the function closes on some path (including
 	// via static callees); key -1 is the method receiver.
 	Closes map[int]bool
+	// Acquires is the set of lock classes (see lockClassOf) the function may
+	// acquire, directly or via static non-go callees.
+	Acquires map[string]bool
+	// HeldAtExit is the set of lock classes the function acquires and does
+	// not release before returning — the lock()-helper shape. A class with
+	// any Unlock/RUnlock in the body (deferred ones included) is excluded.
+	HeldAtExit map[string]bool
 }
 
 // A Program is the package set under analysis with its interprocedural
@@ -52,6 +63,11 @@ type Program struct {
 	Units     []*Package
 	Graph     *CallGraph
 	Summaries map[string]*FuncSummary
+
+	// Lazily built program-wide artifacts: the lock-order graph (lockorder)
+	// and the set of qb5000:noalloc-annotated function IDs (noalloc).
+	lockGraph *LockOrderGraph
+	noalloc   map[string]bool
 }
 
 // NewProgram builds the call graph and summaries over the given units.
@@ -70,7 +86,11 @@ func (prog *Program) Summary(id string) *FuncSummary { return prog.Summaries[id]
 func computeSummaries(g *CallGraph) map[string]*FuncSummary {
 	sums := make(map[string]*FuncSummary, len(g.Order))
 	for _, n := range g.Order {
-		sums[n.ID] = &FuncSummary{Closes: make(map[int]bool)}
+		sums[n.ID] = &FuncSummary{
+			Closes:     make(map[int]bool),
+			Acquires:   make(map[string]bool),
+			HeldAtExit: make(map[string]bool),
+		}
 	}
 	for _, scc := range g.SCCs {
 		for changed := true; changed; {
@@ -87,17 +107,20 @@ func computeSummaries(g *CallGraph) map[string]*FuncSummary {
 
 // summarize recomputes one node's summary from its body and its callees'
 // current summaries, reporting whether any bit changed.
-// bits snapshots the comparable part of a summary (everything but Closes,
-// which is tracked by size — entries are only ever added).
-func (s *FuncSummary) bits() [9]bool {
-	return [9]bool{s.AcceptsCtx, s.ForwardsCtx, s.UsesFreshCtx, s.Spawns,
-		s.MayBlockForever, s.NoReturn, s.ReturnsOpen, s.AcquiresLock, s.ReleasesLock}
+// bits snapshots the comparable part of a summary (everything but the maps,
+// which are tracked by size — entries are only ever added).
+func (s *FuncSummary) bits() [10]bool {
+	return [10]bool{s.AcceptsCtx, s.ForwardsCtx, s.UsesFreshCtx, s.Spawns,
+		s.MayBlockForever, s.NoReturn, s.ReturnsOpen, s.AcquiresLock, s.ReleasesLock,
+		s.Allocates}
 }
 
 func summarize(n *FuncNode, sums map[string]*FuncSummary) bool {
 	s := sums[n.ID]
 	old := s.bits()
 	oldCloses := len(s.Closes)
+	oldAcquires := len(s.Acquires)
+	oldHeld := len(s.HeldAtExit)
 	info := n.Pkg.Info
 
 	params, recvObj := paramObjects(info, n)
@@ -109,10 +132,22 @@ func summarize(n *FuncNode, sums map[string]*FuncSummary) bool {
 		}
 	}
 
+	released := map[string]bool{}
 	if n.Body != nil {
 		scanOwnBody(n, s, info, sums)
 		scanCloses(n, s, info, params, recvObj, sums)
 		scanReturnsOpen(n, s, info, sums)
+		var acquired map[string]bool
+		acquired, released = scanLockClasses(n, info)
+		for c := range acquired {
+			s.Acquires[c] = true
+			if !released[c] {
+				s.HeldAtExit[c] = true
+			}
+		}
+		if !s.Allocates && bodyAllocates(info, n.Body, params) {
+			s.Allocates = true
+		}
 	}
 
 	// Callee propagation over static edges only.
@@ -134,12 +169,62 @@ func summarize(n *FuncNode, sums map[string]*FuncSummary) bool {
 		if cs.UsesFreshCtx && !cs.AcceptsCtx {
 			s.UsesFreshCtx = true
 		}
+		// A spawned callee's lock traffic and allocations happen on the new
+		// goroutine, not in this frame.
+		if !e.Go {
+			if cs.Allocates {
+				s.Allocates = true
+			}
+			for c := range cs.Acquires {
+				s.Acquires[c] = true
+			}
+			for c := range cs.HeldAtExit {
+				if !released[c] {
+					s.HeldAtExit[c] = true
+				}
+			}
+		}
 	}
 	if s.MayBlockForever {
 		s.NoReturn = true
 	}
 
-	return s.bits() != old || len(s.Closes) != oldCloses
+	return s.bits() != old || len(s.Closes) != oldCloses ||
+		len(s.Acquires) != oldAcquires || len(s.HeldAtExit) != oldHeld
+}
+
+// scanLockClasses resolves the lock classes the body itself acquires and
+// releases. Only receiver-resolved classes count (lockClassOf); locks on
+// locals stay intraprocedural. Closure bodies are their own nodes and are
+// excluded.
+func scanLockClasses(n *FuncNode, info *types.Info) (acquired, released map[string]bool) {
+	acquired, released = map[string]bool{}, map[string]bool{}
+	inspectShallow(n.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, onMutex := mutexMethod(info, call)
+		if !onMutex {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		class := lockClassOf(info, sel.X)
+		if class == "" {
+			return true
+		}
+		switch name {
+		case "Lock", "RLock":
+			acquired[class] = true
+		case "Unlock", "RUnlock":
+			released[class] = true
+		}
+		return true
+	})
+	return acquired, released
 }
 
 // paramObjects resolves the node's parameter objects (positionally) and its

@@ -1,0 +1,209 @@
+// Package lockorder exercises the interprocedural deadlock analyzer: order
+// cycles (direct and via callee summaries), self-deadlocks, blocking points
+// under a held lock, and the qb5000:lockorder / qb5000:locked annotations.
+package lockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+type E struct{ mu sync.Mutex }
+type F struct{ mu sync.Mutex }
+type RW struct{ mu sync.RWMutex }
+type S struct{ mu sync.Mutex }
+
+type G struct {
+	mu sync.Mutex
+	n  int
+}
+
+type H struct{ mu sync.Mutex }
+
+// abOrder nests B under A: the A→B half of an observed cycle.
+func abOrder(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want "lock-order cycle: acquiring lockorder.B.mu while lockorder.A.mu is held"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// baOrder nests A under B: the edge that closes the cycle.
+func baOrder(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() // want "lock-order cycle: acquiring lockorder.A.mu while lockorder.B.mu is held"
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// deferIdiom re-witnesses the A→B edge (deduped: the finding stays pinned to
+// abOrder) and exercises the Lock-then-defer-Unlock transfer.
+func deferIdiom(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+func relock(a *A) {
+	a.mu.Lock()
+	a.mu.Lock() // want "Lock of a.mu while already holding it"
+	a.mu.Unlock()
+}
+
+func upgrade(r *RW) {
+	r.mu.RLock()
+	r.mu.Lock() // want "RLock→Lock upgrade on r.mu"
+	r.mu.Unlock()
+}
+
+func readUnderWrite(r *RW) {
+	r.mu.Lock()
+	r.mu.RLock() // want "RLock on r.mu while already write-holding it"
+	r.mu.RUnlock()
+}
+
+func sendUnderLock(a *A, ch chan int) {
+	a.mu.Lock()
+	ch <- 1 // want "channel send while holding a.mu"
+	a.mu.Unlock()
+}
+
+func recvUnderLock(a *A, ch chan int) {
+	a.mu.Lock()
+	<-ch // want "channel receive while holding a.mu"
+	a.mu.Unlock()
+}
+
+// recvNonBlocking is fine: a select with a default clause never blocks.
+func recvNonBlocking(a *A, ch chan int) {
+	a.mu.Lock()
+	select {
+	case <-ch:
+	default:
+	}
+	a.mu.Unlock()
+}
+
+func waitUnderLock(a *A, wg *sync.WaitGroup) {
+	a.mu.Lock()
+	wg.Wait() // want "sync.WaitGroup.Wait while holding a.mu"
+	a.mu.Unlock()
+}
+
+// spin never returns; holding a lock across a call to it is reported via the
+// MayBlockForever summary bit.
+func spin() {
+	for {
+	}
+}
+
+func blockUnderLock(a *A) {
+	a.mu.Lock()
+	spin() // want "call to spin"
+	a.mu.Unlock()
+}
+
+// lockD acquires D directly; callers observe it through the Acquires
+// summary, so the C→D edge below is a via-call edge.
+func lockD(d *D) {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+func nestDUnderC(c *C, d *D) {
+	c.mu.Lock()
+	lockD(d) // want "lock-order cycle: acquiring lockorder.D.mu while lockorder.C.mu is held"
+	c.mu.Unlock()
+}
+
+func nestCUnderD(c *C, d *D) {
+	d.mu.Lock()
+	c.mu.Lock() // want "lock-order cycle: acquiring lockorder.C.mu while lockorder.D.mu is held"
+	c.mu.Unlock()
+	d.mu.Unlock()
+}
+
+// The declared global order between E and F; respectOrder follows it, so
+// only the violation in violateOrder is reported.
+//
+// qb5000:lockorder lockorder.E.mu < lockorder.F.mu
+func respectOrder(e *E, f *F) {
+	e.mu.Lock()
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Unlock()
+}
+
+func violateOrder(e *E, f *F) {
+	f.mu.Lock()
+	e.mu.Lock() // want "contradicts the declared order lockorder.E.mu < lockorder.F.mu"
+	e.mu.Unlock()
+	f.mu.Unlock()
+}
+
+// qb5000:lockorder lockorder.E.mu before lockorder.F.mu // want "malformed qb5000:lockorder annotation"
+
+// bump runs with g.mu already held by contract (qb5000:locked seeds the
+// entry fact), so re-locking inside is a self-deadlock.
+//
+// qb5000:locked mu
+func (g *G) bump() {
+	g.mu.Lock() // want "Lock of g.mu while already holding it"
+	g.n++
+	g.mu.Unlock()
+}
+
+// lock is a lock()-helper: its HeldAtExit summary threads lockorder.H.mu
+// into callers' held sets.
+func (h *H) lock() { h.mu.Lock() }
+
+func helperThreads(h *H, ch chan int) {
+	h.lock()
+	ch <- 1 // want "channel send while holding h.mu"
+	h.mu.Unlock()
+}
+
+func reenterViaHelper(h *H) {
+	h.lock()
+	h.lock() // want "possible self-deadlock if it is the same lock"
+	h.mu.Unlock()
+}
+
+// twoInstances interleaves two locks of one class with no order between the
+// instances.
+func twoInstances(s1, s2 *S) {
+	s1.mu.Lock()
+	s2.mu.Lock() // want "no global order between instances"
+	s2.mu.Unlock()
+	s1.mu.Unlock()
+}
+
+// sequential holds at most one lock at a time: no edges, no findings.
+func sequential(a *A, b *B) {
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+// branchy releases on both paths; the join keeps the fact consistent.
+func branchy(a *A, cond bool) {
+	a.mu.Lock()
+	if cond {
+		a.mu.Unlock()
+		return
+	}
+	a.mu.Unlock()
+}
+
+// spawnOpaque runs the send on another goroutine: the go operand does not
+// execute at its textual position, so nothing blocks under the lock here.
+func spawnOpaque(a *A, ch chan int) {
+	a.mu.Lock()
+	go send(ch)
+	a.mu.Unlock()
+}
+
+func send(ch chan int) { ch <- 1 }

@@ -1,0 +1,156 @@
+// Package noalloc exercises the zero-alloc contract checker: flagged
+// allocation shapes, the pooled-scratch and error-path exemptions, and the
+// Allocates summary bit on unannotated callees.
+package noalloc
+
+import (
+	"fmt"
+	"sync"
+)
+
+type point struct{ x, y int }
+
+var lookup = map[string]int{"A": 1}
+
+var pool sync.Pool
+
+// qb5000:noalloc
+func bad(m map[string]int, v int) {
+	b := make([]byte, 8) // want "make allocates"
+	_ = b
+	p := new(int) // want "new allocates"
+	_ = p
+	s := []int{1, 2} // want "slice literal allocates its backing array"
+	_ = s
+	mm := map[string]int{} // want "map literal allocates"
+	_ = mm
+	m["k"] = v                   // want "map assignment may allocate"
+	m["k"]++                     // want "map update may allocate"
+	fmt.Println(v)               // want "call to fmt.Println allocates"
+	go send(v)                   // want "go statement allocates a new goroutine"
+	f := func() int { return v } // want "function literal allocates its closure"
+	_ = f
+}
+
+func send(int) {}
+
+// stackOnly shows the shapes that stay quiet: array and struct value
+// literals live on the stack.
+//
+// qb5000:noalloc
+func stackOnly() int {
+	arr := [2]int{1, 2}
+	pt := point{3, 4}
+	return arr[0] + pt.x
+}
+
+type sinkIface interface{ sink() }
+
+func takeAny(x any) {}
+
+func sinkAll(xs ...any) {}
+
+// qb5000:noalloc
+func boxes(v int, xs []int, pre []any) any {
+	var a any = v // want "var initialization boxes int into any"
+	_ = a
+	var ifc any
+	ifc = xs // want "assignment boxes ..int into any"
+	_ = ifc
+	takeAny(v) // want "argument boxes int into any"
+	sinkAll(v) // want "argument boxes int into any"
+	sinkAll(pre...)
+	return v // want "return boxes int into any"
+}
+
+// qb5000:noalloc
+func ptrBox(p *point) any {
+	return p // quiet: pointer-shaped values fit the interface word
+}
+
+// qb5000:noalloc
+func constBox() any {
+	return 42 // quiet: constants never box at run time
+}
+
+// qb5000:noalloc
+func conversions(b []byte, s string, n int) {
+	_ = lookup[string(b)] // quiet: map-read key conversion is elided
+	x := string(b)        // want "string conversion allocates a copy"
+	_ = x
+	y := []byte(s) // want "conversion allocates a copy"
+	_ = y
+	z := string(rune(n)) // want "integer→string conversion allocates"
+	_ = z
+	lookup[string(b)] = n // want "string conversion allocates a copy" "map assignment may allocate"
+}
+
+// qb5000:noalloc
+func appendParam(dst []int, v int) []int {
+	dst = append(dst, v) // quiet: caller-owned backing
+	dst = append(dst, v) // quiet: self-append
+	return dst
+}
+
+// qb5000:noalloc
+func appendReslice(buf []int, v int) []int {
+	buf = buf[:0]
+	buf = append(buf, v) // quiet: reslice keeps the caller's backing
+	return buf
+}
+
+// qb5000:noalloc
+func appendPooled(v int) []int {
+	buf := pool.Get().([]int)
+	buf = append(buf, v) // quiet: pool-recycled backing
+	return buf
+}
+
+// qb5000:noalloc
+func appendFresh(v int) []int {
+	var out []int
+	out = append(out, v) // want "append into out may grow a non-pooled backing array"
+	return out
+}
+
+// makeSlice is unannotated: its allocation reaches annotated callers through
+// the Allocates summary bit.
+func makeSlice() []int { return make([]int, 4) }
+
+// qb5000:noalloc
+func callsHelper() []int {
+	return makeSlice() // want "call to makeSlice allocates"
+}
+
+// qb5000:noalloc
+func leaf(v int) int { return v + 1 }
+
+// qb5000:noalloc
+func callsLeaf(v int) int {
+	return leaf(v) // quiet: annotated callees are verified on their own
+}
+
+type parseErr struct{ msg string }
+
+func (e *parseErr) Error() string { return e.msg }
+
+// qb5000:noalloc
+func errPath(ok bool, pos int) error {
+	if !ok {
+		return &parseErr{msg: fmt.Sprintf("bad token at %d", pos)} // quiet: error construction is cold by contract
+	}
+	return nil
+}
+
+// qb5000:noalloc
+func escapes() *point {
+	return &point{1, 2} // want "literal escapes to the heap"
+}
+
+// qb5000:noalloc
+func joins(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+// unannotated is free to allocate.
+func unannotated() []byte { return make([]byte, 1) }

@@ -119,6 +119,8 @@ func newFPCache(totalEntries, nshards int) *fpCache {
 }
 
 // rawHash is FNV-1a over the raw query bytes: one pass, no allocation.
+//
+// qb5000:noalloc
 func rawHash(raw string) uint64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(raw); i++ {
@@ -128,6 +130,7 @@ func rawHash(raw string) uint64 {
 	return h
 }
 
+// qb5000:noalloc
 func (c *fpCache) shardFor(raw string) *fpShard {
 	return &c.shards[rawHash(raw)&c.mask]
 }
@@ -135,6 +138,8 @@ func (c *fpCache) shardFor(raw string) *fpShard {
 // lookup returns the live entry for raw, marking it recently used, or nil.
 // Counter accounting is the caller's job: a lookup hit can still turn into a
 // logical miss if the template was evicted underneath the entry.
+//
+// qb5000:noalloc
 func (c *fpCache) lookup(raw string) *fpEntry {
 	sh := c.shardFor(raw)
 	sh.mu.RLock()

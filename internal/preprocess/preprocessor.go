@@ -145,6 +145,8 @@ func (p *Preprocessor) NumShards() int { return len(p.shards) }
 // the template's parameter reservoir: both must depend only on the key, not
 // on the stripe layout, so snapshots stay byte-identical across shard
 // counts.
+//
+// qb5000:noalloc
 func keyHash(key string) uint64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(key); i++ {
@@ -155,10 +157,13 @@ func keyHash(key string) uint64 {
 }
 
 // shardIndex hashes a semantic key onto a stripe.
+//
+// qb5000:noalloc
 func (p *Preprocessor) shardIndex(key string) int {
 	return int(keyHash(key) & p.shardMask)
 }
 
+// qb5000:noalloc
 func (p *Preprocessor) shardFor(key string) *catalogShard {
 	return &p.shards[p.shardIndex(key)]
 }
@@ -213,6 +218,8 @@ func (p *Preprocessor) processN(raw string, at time.Time, count int64) (*Templat
 // entry exists, or the cached template was evicted underneath the entry —
 // the stripe's byID index is re-checked under its lock, so a stale entry can
 // never resurrect a dead template ID.
+//
+// qb5000:noalloc
 func (p *Preprocessor) foldFingerprint(raw string, at time.Time, count int64) *Template {
 	e := p.fp.lookup(raw)
 	if e == nil {
@@ -228,6 +235,7 @@ func (p *Preprocessor) foldFingerprint(raw string, at time.Time, count int64) *T
 		// the stale mapping and re-templatize fresh. Identical raw bytes
 		// always map to the same semantic key, so the re-fold lands on this
 		// same stripe and mints a brand-new ID.
+		//lint:ignore noalloc stale-entry cleanup runs once per eviction race, not in the steady-state hit path
 		p.fp.invalidate(raw, e)
 		p.fp.misses.Add(1)
 		return nil
@@ -407,14 +415,17 @@ func (s *catalogShard) fold(p *Preprocessor, res *TemplatizeResult, key string, 
 // cache can never change template IDs, reservoir streams, or snapshots.
 //
 // qb5000:locked mu
+// qb5000:noalloc
 func (s *catalogShard) foldExisting(t *Template, vals []string, batch int64, stmt sqlparse.StatementType, at time.Time, count int64) {
 	t.recordVals(at, vals)
 	if count > 1 {
 		t.Count += count - 1
+		//lint:ignore noalloc the fine tier appends one bin per new minute, amortized to zero per arrival
 		t.History.Record(at, float64(count-1))
 	}
 	t.Tuples += count * batch
 	s.totalQueries += count
+	//lint:ignore noalloc byType's key space is the fixed statement-type enum; buckets stop growing after warmup
 	s.byType[stmt] += count
 }
 

@@ -110,6 +110,8 @@ func (t *Template) Record(at time.Time, params []Param) {
 // fingerprint-cache hit path calls it with the vals captured at the entry's
 // one real parse, so a hit feeds the reservoir the exact stream a miss
 // would without re-rendering (or allocating) per arrival.
+//
+// qb5000:noalloc
 func (t *Template) recordVals(at time.Time, vals []string) {
 	t.Count++
 	if t.Count == 1 || at.Before(t.FirstSeen) {
@@ -118,8 +120,10 @@ func (t *Template) recordVals(at time.Time, vals []string) {
 	if at.After(t.LastSeen) {
 		t.LastSeen = at
 	}
+	//lint:ignore noalloc the fine tier appends one bin per new minute, amortized to zero per arrival
 	t.History.Record(at, 1)
 	if len(vals) > 0 {
+		//lint:ignore noalloc the reservoir copies a vector with probability capacity/seen, vanishing in steady state
 		t.Params.Observe(vals)
 	}
 }

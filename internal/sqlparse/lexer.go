@@ -78,6 +78,8 @@ var maxKeywordLen = func() int {
 // returns its interned canonical upper-case text. It does not allocate: the
 // upper-cased copy lives in a stack buffer, and Go map lookups with a
 // string-converted byte slice key do not copy.
+//
+// qb5000:noalloc
 func keywordFor(word string) (string, bool) {
 	if len(word) > maxKeywordLen || len(word) > 16 {
 		return "", false
@@ -118,6 +120,8 @@ func Lex(input string) ([]Token, error) {
 // substring of input, an interned keyword, or — only for string literals
 // that actually contain escapes — a freshly unescaped string, so steady
 // state lexing allocates nothing beyond amortized slice growth.
+//
+// qb5000:noalloc
 func lexInto(dst []Token, input string) ([]Token, error) {
 	i := 0
 	n := len(input)
@@ -141,6 +145,7 @@ func lexInto(dst []Token, input string) ([]Token, error) {
 			}
 			i = j + 2
 		case c == '\'':
+			//lint:ignore noalloc escape-free literals return substrings; only escaped literals take the allocating slow path
 			text, next, serr := lexString(input, i)
 			if serr != nil {
 				return dst, serr
@@ -240,6 +245,8 @@ func lexInto(dst []Token, input string) ([]Token, error) {
 
 // opText returns the interned one-byte operator text so single-character
 // operator tokens never allocate a fresh string.
+//
+// qb5000:noalloc
 func opText(c byte) string {
 	switch c {
 	case '=':
@@ -255,6 +262,7 @@ func opText(c byte) string {
 	case '%':
 		return "%"
 	}
+	//lint:ignore noalloc unreachable default: callers pass only the six interned operator bytes above
 	return string(c)
 }
 
