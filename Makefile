@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short cover bench bench-ingest bench-gate bench-baseline race lint ci experiments experiments-quick vet vet-graph vet-lockgraph fmt clean fuzz-smoke
+.PHONY: all build test test-short test-faults cover bench bench-ingest bench-gate bench-baseline race lint ci experiments experiments-quick vet vet-graph vet-lockgraph fmt clean fuzz-smoke
 
 all: build test
 
@@ -12,6 +12,15 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# The durability suite (mirrors the CI `faults` job): the failpoint and fsx
+# unit tests, the crash matrix (a fault injected at every registered
+# failpoint during save-under-concurrent-ingest must leave the previous
+# snapshot byte-identical and loadable), and the snapshot corruption table.
+# -count=1 defeats the test cache: fault schedules are process-global state.
+test-faults:
+	$(GO) test -count=1 ./internal/failpoint/ ./internal/fsx/
+	$(GO) test -count=1 -run 'TestCrashMatrixSaveUnderIngest|TestSaveFileLoadFileRoundTrip|TestLoadRejectsCorruptSnapshots' .
 
 cover:
 	$(GO) test -cover ./...

@@ -18,10 +18,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"qb5000"
+	"qb5000/internal/failpoint"
+	"qb5000/internal/fsx"
 	"qb5000/internal/tracefile"
 	"qb5000/internal/workload"
 )
@@ -31,17 +34,28 @@ func main() {
 		tracePath = flag.String("trace", "", "query trace file (timestamp<TAB>[count<TAB>]SQL per line)")
 		wlName    = flag.String("workload", "", "generate a synthetic trace: admissions|bustracker|mooc|noisy")
 		days      = flag.Int("days", 10, "days of synthetic trace to replay")
-		dump      = flag.String("dump", "", "write the synthetic trace to this file instead of analyzing it")
-		horizon   = flag.Duration("horizon", time.Hour, "prediction horizon")
-		model     = flag.String("model", "LR", "forecast model: LR|KR|ARMA|FNN|RNN|PSRNN|ENSEMBLE|HYBRID")
-		seed      = flag.Int64("seed", 1, "random seed")
-		shards    = flag.Int("shards", 1, "catalog lock stripes, rounded up to a power of two (0 = all cores, 1 = reproducible sequential IDs)")
-		fpcache   = flag.Int("fpcache", 0, "fingerprint-cache entries: repeated raw SQL skips parsing (0 = disabled)")
-		topN      = flag.Int("top", 10, "templates to print")
-		savePath  = flag.String("save", "", "write a catalog snapshot to this file after ingesting")
-		loadPath  = flag.String("load", "", "restore the catalog from a snapshot before ingesting")
+		// qb5000:durable
+		dump    = flag.String("dump", "", "write the synthetic trace to this file instead of analyzing it")
+		horizon = flag.Duration("horizon", time.Hour, "prediction horizon")
+		model   = flag.String("model", "LR", "forecast model: LR|KR|ARMA|FNN|RNN|PSRNN|ENSEMBLE|HYBRID")
+		seed    = flag.Int64("seed", 1, "random seed")
+		shards  = flag.Int("shards", 1, "catalog lock stripes, rounded up to a power of two (0 = all cores, 1 = reproducible sequential IDs)")
+		fpcache = flag.Int("fpcache", 0, "fingerprint-cache entries: repeated raw SQL skips parsing (0 = disabled)")
+		topN    = flag.Int("top", 10, "templates to print")
+		// qb5000:durable
+		savePath = flag.String("save", "", "write a catalog snapshot to this file after ingesting (atomic + fsync)")
+		loadPath = flag.String("load", "", "restore the catalog from a snapshot before ingesting")
+		faults   = flag.String("failpoints", "", "arm fault-injection sites, e.g. fsx.rename=nth:1 (also "+failpoint.EnvVar+")")
 	)
 	flag.Parse()
+
+	if *faults != "" {
+		if err := failpoint.Parse(*faults); err != nil {
+			fatal(err)
+		}
+	} else if err := failpoint.ParseEnv(); err != nil {
+		fatal(err)
+	}
 
 	if *dump != "" {
 		if *wlName == "" {
@@ -64,12 +78,8 @@ func main() {
 	}
 	var f *qb5000.Forecaster
 	if *loadPath != "" {
-		file, err := os.Open(*loadPath)
-		if err != nil {
-			fatal(err)
-		}
-		f, err = qb5000.Load(cfg, file)
-		file.Close()
+		var err error
+		f, err = qb5000.LoadFile(cfg, *loadPath)
 		if err != nil {
 			fatal(err)
 		}
@@ -116,14 +126,10 @@ func main() {
 	}
 
 	if *savePath != "" {
-		file, err := os.Create(*savePath)
-		if err != nil {
-			fatal(err)
-		}
-		if err := f.Save(file); err != nil {
-			fatal(err)
-		}
-		if err := file.Close(); err != nil {
+		// Atomic, fsynced replace: a crash mid-save must never destroy the
+		// previous snapshot (the durable analyzer rejects a bare os.Create
+		// here).
+		if err := f.SaveFile(*savePath); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("snapshot written to %s\n", *savePath)
@@ -165,34 +171,29 @@ func main() {
 	}
 }
 
-func dumpTrace(name string, seed int64, days int, path string) (err error) {
+// dumpTrace exports a synthetic workload as a trace file, atomically: a
+// partial export must never replace a previous complete one.
+//
+// qb5000:durable path
+func dumpTrace(name string, seed int64, days int, path string) error {
 	wl := pick(name, seed)
 	if wl == nil {
 		return fmt.Errorf("unknown workload %q", name)
 	}
-	file, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	// The file is open for writing: a failed Close can drop buffered trace
-	// entries, so it must surface unless an earlier error already did.
-	defer func() {
-		if cerr := file.Close(); err == nil {
-			err = cerr
-		}
-	}()
-	tw := tracefile.NewWriter(file)
 	to := wl.Start.Add(time.Duration(days) * 24 * time.Hour)
 	if to.After(wl.End) {
 		to = wl.End
 	}
-	err = wl.Replay(wl.Start, to, 5*time.Minute, func(ev workload.Event) error {
-		return tw.Write(tracefile.Entry{At: ev.At, Count: ev.Count, SQL: ev.SQL})
+	return fsx.WriteAtomic(path, func(w io.Writer) error {
+		tw := tracefile.NewWriter(w)
+		err := wl.Replay(wl.Start, to, 5*time.Minute, func(ev workload.Event) error {
+			return tw.Write(tracefile.Entry{At: ev.At, Count: ev.Count, SQL: ev.SQL})
+		})
+		if err != nil {
+			return err
+		}
+		return tw.Flush()
 	})
-	if err != nil {
-		return err
-	}
-	return tw.Flush()
 }
 
 // ingestChunk is how many trace entries accumulate before they flush through

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"qb5000"
+	"qb5000/internal/failpoint"
 	"qb5000/internal/server"
 )
 
@@ -47,8 +48,19 @@ func main() {
 		fpcache     = flag.Int("fpcache", 0, "fingerprint-cache entries: repeated raw SQL skips parsing (0 = disabled)")
 		maintain    = flag.Duration("maintain-every", 0, "periodic re-cluster + retrain cadence (0 disables the background loop)")
 		loadPath    = flag.String("load", "", "restore the catalog from a snapshot at startup")
+		// qb5000:durable
+		savePath = flag.String("save", "", "write a catalog snapshot to this file on clean shutdown (atomic + fsync)")
+		faults   = flag.String("failpoints", "", "arm fault-injection sites, e.g. fsx.rename=nth:1 (also "+failpoint.EnvVar+")")
 	)
 	flag.Parse()
+
+	if *faults != "" {
+		if err := failpoint.Parse(*faults); err != nil {
+			log.Fatal(err)
+		}
+	} else if err := failpoint.ParseEnv(); err != nil {
+		log.Fatal(err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -64,13 +76,8 @@ func main() {
 	}
 	var f *qb5000.Forecaster
 	if *loadPath != "" {
-		file, err := os.Open(*loadPath)
-		if err != nil {
-			log.Fatal(err)
-		}
 		var lerr error
-		f, lerr = qb5000.Load(cfg, file)
-		file.Close()
+		f, lerr = qb5000.LoadFile(cfg, *loadPath)
 		if lerr != nil {
 			log.Fatal(lerr)
 		}
@@ -124,6 +131,13 @@ func main() {
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
 			log.Printf("shutdown: %v", err)
+		}
+		if *savePath != "" {
+			if err := f.SaveFile(*savePath); err != nil {
+				log.Printf("save snapshot: %v", err)
+				os.Exit(1)
+			}
+			log.Printf("snapshot written to %s", *savePath)
 		}
 	}
 }

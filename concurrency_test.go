@@ -5,12 +5,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"qb5000/internal/failpoint"
 	"qb5000/internal/leakcheck"
 	"qb5000/internal/workload"
 )
@@ -417,4 +420,114 @@ func TestMaintainContextCancellation(t *testing.T) {
 	if _, err := f.Forecast(time.Hour); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestCrashMatrixSaveUnderIngest is the durability gate: with ingest
+// goroutines hammering the forecaster, a fault injected at every registered
+// failpoint in the atomic-write protocol must abort the save with an error
+// that wraps failpoint.ErrInjected, leave the previous snapshot on disk
+// byte-identical, litter no temp files, and leave the file loadable. Every
+// failpoint fires before its operation, so an aborted save never reaches
+// the rename — that invariant is what this matrix pins down.
+func TestCrashMatrixSaveUnderIngest(t *testing.T) {
+	defer failpoint.Reset()
+	leakcheck.Check(t, func() {
+		cfg := Config{
+			Model:    "LR",
+			Horizons: []time.Duration{time.Hour},
+			Seed:     9,
+		}
+		f, to := replayForecaster(t, cfg)
+
+		dir := t.TempDir()
+		path := filepath.Join(dir, "forecaster.snap")
+		if err := f.SaveFile(path); err != nil {
+			t.Fatalf("golden save: %v", err)
+		}
+		golden, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		sites := failpoint.Registered()
+		if len(sites) == 0 {
+			t.Fatal("no failpoints registered; fsx should have registered its protocol sites")
+		}
+
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				at := to
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					at = at.Add(time.Second)
+					sql := fmt.Sprintf("SELECT c%d FROM crash_matrix WHERE k = %d", g, i%17)
+					if err := f.ObserveBatch(sql, at, 1); err != nil {
+						t.Errorf("ingester %d: %v", g, err)
+						return
+					}
+				}
+			}(g)
+		}
+
+		for _, site := range sites {
+			if err := failpoint.SetNth(site, 1); err != nil {
+				t.Fatalf("arming %s: %v", site, err)
+			}
+			err := f.SaveFile(path)
+			if cerr := failpoint.Clear(site); cerr != nil {
+				t.Fatalf("clearing %s: %v", site, cerr)
+			}
+			if err == nil {
+				t.Fatalf("site %s: save succeeded with a fault armed", site)
+			}
+			if !errors.Is(err, failpoint.ErrInjected) {
+				t.Fatalf("site %s: error %v does not wrap ErrInjected", site, err)
+			}
+			onDisk, rerr := os.ReadFile(path)
+			if rerr != nil {
+				t.Fatalf("site %s: previous snapshot unreadable: %v", site, rerr)
+			}
+			if !bytes.Equal(onDisk, golden) {
+				t.Fatalf("site %s: aborted save mutated the snapshot (%d vs %d bytes)", site, len(onDisk), len(golden))
+			}
+			entries, derr := os.ReadDir(dir)
+			if derr != nil {
+				t.Fatal(derr)
+			}
+			if len(entries) != 1 {
+				names := make([]string, 0, len(entries))
+				for _, e := range entries {
+					names = append(names, e.Name())
+				}
+				t.Fatalf("site %s: temp litter after aborted save: %v", site, names)
+			}
+			if _, lerr := LoadFile(cfg, path); lerr != nil {
+				t.Fatalf("site %s: snapshot unloadable after aborted save: %v", site, lerr)
+			}
+		}
+
+		close(stop)
+		wg.Wait()
+
+		// With all faults cleared, the protocol commits cleanly over the
+		// post-ingest state and the result round-trips.
+		if err := f.SaveFile(path); err != nil {
+			t.Fatalf("final save: %v", err)
+		}
+		g2, err := LoadFile(cfg, path)
+		if err != nil {
+			t.Fatalf("final load: %v", err)
+		}
+		if got, want := g2.Stats().TotalQueries, f.Stats().TotalQueries; got != want {
+			t.Fatalf("reloaded TotalQueries = %d, want %d", got, want)
+		}
+	})
 }

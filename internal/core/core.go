@@ -15,6 +15,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -668,18 +669,29 @@ func recentMatrix(now time.Time, tracked []*cluster.Cluster, lag int, interval t
 }
 
 // Snapshot persists the controller's durable state (the template catalog
-// with arrival histories). Clusters and models are derived state and are
-// rebuilt by the first Refresh after a restore.
+// with arrival histories) framed in the torn-write-detecting envelope (see
+// envelope.go). Clusters and models are derived state and are rebuilt by
+// the first Refresh after a restore.
 func (c *Controller) Snapshot(w io.Writer) error {
-	return c.pre.Snapshot(w)
+	var body bytes.Buffer
+	if err := c.pre.Snapshot(&body); err != nil {
+		return err
+	}
+	return writeSnapshotEnvelope(w, body.Bytes())
 }
 
-// RestoreController rebuilds a controller from a snapshot stream. The
-// returned controller has an empty clustering/model state; call Refresh (or
-// let Tick fire) to rebuild it from the restored histories.
+// RestoreController rebuilds a controller from a snapshot stream, rejecting
+// truncated, bit-flipped, or trailing-garbage input with a descriptive
+// error before any state is decoded. The returned controller has an empty
+// clustering/model state; call Refresh (or let Tick fire) to rebuild it
+// from the restored histories.
 func RestoreController(cfg Config, r io.Reader) (*Controller, error) {
+	body, err := readSnapshotEnvelope(r)
+	if err != nil {
+		return nil, err
+	}
 	c := New(cfg)
-	pre, err := preprocess.RestoreSnapshotCache(r, c.cfg.Shards, c.cfg.FingerprintCacheSize)
+	pre, err := preprocess.RestoreSnapshotCache(bytes.NewReader(body), c.cfg.Shards, c.cfg.FingerprintCacheSize)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,90 @@
+package core
+
+// Snapshot envelope: a torn-write-detecting frame around the preprocess
+// layer's canonical gob body (DESIGN.md §8). The body stays byte-identical
+// across shard counts and cache settings; the envelope adds exactly what a
+// crash-recovery path needs to refuse a damaged file with a descriptive
+// error instead of feeding the decoder partial state:
+//
+//	[8]  magic "QB5KSNP2"
+//	[8]  big-endian uint64 body length
+//	[n]  gob body (preprocess snapshot, format v2)
+//	[4]  big-endian CRC32-IEEE of the body
+//
+// Truncation is caught by the length prefix, bit flips by the checksum, and
+// appended garbage by an explicit EOF probe after the trailer.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// snapshotMagic identifies an enveloped v2 snapshot. Pre-envelope snapshots
+// (raw gob) fail the magic check and are reported as such.
+const snapshotMagic = "QB5KSNP2"
+
+// maxSnapshotBody bounds the declared body length so a corrupted length
+// field cannot drive an absurd read. 1 TiB is orders of magnitude beyond
+// any real catalog.
+const maxSnapshotBody = 1 << 40
+
+// writeSnapshotEnvelope frames body with the magic/length header and CRC
+// trailer.
+func writeSnapshotEnvelope(w io.Writer, body []byte) error {
+	var hdr [16]byte
+	copy(hdr[:8], snapshotMagic)
+	binary.BigEndian.PutUint64(hdr[8:], uint64(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("core: write snapshot header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("core: write snapshot body: %w", err)
+	}
+	var trailer [4]byte
+	binary.BigEndian.PutUint32(trailer[:], crc32.ChecksumIEEE(body))
+	if _, err := w.Write(trailer[:]); err != nil {
+		return fmt.Errorf("core: write snapshot trailer: %w", err)
+	}
+	return nil
+}
+
+// readSnapshotEnvelope validates the frame and returns the body. Every
+// failure mode — short file, wrong magic, bit flip, trailing garbage — is a
+// distinct descriptive error; none of them reach the gob decoder.
+func readSnapshotEnvelope(r io.Reader) ([]byte, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("core: snapshot truncated in the envelope header (want 16 bytes): %w", err)
+	}
+	if !bytes.Equal(hdr[:8], []byte(snapshotMagic)) {
+		return nil, fmt.Errorf("core: not a QB5000 snapshot: bad magic %q (want %q; pre-envelope snapshots must be regenerated)", hdr[:8], snapshotMagic)
+	}
+	n := binary.BigEndian.Uint64(hdr[8:])
+	if n > maxSnapshotBody {
+		return nil, fmt.Errorf("core: snapshot corrupt: implausible body length %d", n)
+	}
+	// LimitReader + ReadAll grows the buffer as bytes actually arrive, so a
+	// bit-flipped length field cannot force a giant up-front allocation.
+	body, err := io.ReadAll(io.LimitReader(r, int64(n)))
+	if err != nil {
+		return nil, fmt.Errorf("core: read snapshot body: %w", err)
+	}
+	if uint64(len(body)) != n {
+		return nil, fmt.Errorf("core: snapshot truncated: header declares %d body bytes, only %d present", n, len(body))
+	}
+	var trailer [4]byte
+	if _, err := io.ReadFull(r, trailer[:]); err != nil {
+		return nil, fmt.Errorf("core: snapshot truncated in the CRC trailer: %w", err)
+	}
+	if got, want := crc32.ChecksumIEEE(body), binary.BigEndian.Uint32(trailer[:]); got != want {
+		return nil, fmt.Errorf("core: snapshot corrupt: body CRC32 %08x does not match trailer %08x", got, want)
+	}
+	var probe [1]byte
+	if _, err := io.ReadFull(r, probe[:]); err != io.EOF {
+		return nil, fmt.Errorf("core: snapshot has trailing data after the CRC trailer")
+	}
+	return body, nil
+}

@@ -1,0 +1,149 @@
+package fsx
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"qb5000/internal/failpoint"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	err := WriteAtomic(path, func(w io.Writer) error {
+		_, werr := io.WriteString(w, content)
+		return werr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readFile(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func listDir(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+func TestWriteAtomicCreatesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	write(t, path, "first")
+	if got := readFile(t, path); got != "first" {
+		t.Fatalf("content %q, want %q", got, "first")
+	}
+	write(t, path, "second")
+	if got := readFile(t, path); got != "second" {
+		t.Fatalf("content %q, want %q", got, "second")
+	}
+	if names := listDir(t, dir); len(names) != 1 {
+		t.Fatalf("temp litter left in dir: %v", names)
+	}
+}
+
+func TestWriteErrorLeavesDestinationIntact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	write(t, path, "keep me")
+	boom := errors.New("boom")
+	err := WriteAtomic(path, func(io.Writer) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("write error %v does not wrap the callback's error", err)
+	}
+	if got := readFile(t, path); got != "keep me" {
+		t.Fatalf("failed write mutated destination: %q", got)
+	}
+	if names := listDir(t, dir); len(names) != 1 {
+		t.Fatalf("temp litter left in dir: %v", names)
+	}
+}
+
+func TestEveryFailpointAbortsCleanly(t *testing.T) {
+	sites := []string{FPCreate, FPWrite, FPSync, FPClose, FPRename}
+	defer failpoint.Reset()
+	for _, site := range sites {
+		t.Run(site, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "out.txt")
+			write(t, path, "golden")
+			if err := failpoint.SetNth(site, 1); err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				if err := failpoint.Clear(site); err != nil {
+					t.Fatal(err)
+				}
+			}()
+			err := WriteAtomic(path, func(w io.Writer) error {
+				_, werr := io.WriteString(w, "overwritten")
+				return werr
+			})
+			if err == nil {
+				t.Fatal("WriteAtomic succeeded despite an injected fault")
+			}
+			if !errors.Is(err, failpoint.ErrInjected) {
+				t.Fatalf("error %v does not wrap failpoint.ErrInjected", err)
+			}
+			if got := readFile(t, path); got != "golden" {
+				t.Fatalf("fault at %s corrupted destination: %q", site, got)
+			}
+			if names := listDir(t, dir); len(names) != 1 {
+				t.Fatalf("fault at %s left temp litter: %v", site, names)
+			}
+		})
+	}
+}
+
+func TestWriteAtomicMissingDirErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no", "such", "dir", "out.txt")
+	err := WriteAtomic(path, func(io.Writer) error { return nil })
+	if err == nil {
+		t.Fatal("WriteAtomic into a missing directory succeeded")
+	}
+}
+
+func TestRegistryMatchesSiteConstants(t *testing.T) {
+	want := map[string]bool{FPCreate: true, FPWrite: true, FPSync: true, FPClose: true, FPRename: true}
+	got := failpoint.Registered()
+	for _, name := range got {
+		delete(want, name)
+	}
+	if len(want) != 0 {
+		t.Fatalf("site constants missing from the registry: %v", want)
+	}
+}
+
+func BenchmarkWriteAtomic(b *testing.B) {
+	dir := b.TempDir()
+	path := filepath.Join(dir, "bench.txt")
+	payload := fmt.Sprintf("%032d", 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := WriteAtomic(path, func(w io.Writer) error {
+			_, werr := io.WriteString(w, payload)
+			return werr
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

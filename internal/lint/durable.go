@@ -1,0 +1,384 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"os"
+	"regexp"
+	"strings"
+)
+
+// Durable enforces the crash-safety contract around fsx.WriteAtomic
+// (DESIGN.md §8). A path value annotated
+//
+//	// qb5000:durable
+//
+// on its declaration (var spec, := statement, or struct field), or named in
+// a function's doc comment as
+//
+//	// qb5000:durable <param> [param...]
+//
+// holds the location of a durable file: one whose previous contents must
+// survive a crash mid-replace. The analyzer reports any durable value that
+// reaches a direct filesystem mutation — os.Create, os.WriteFile,
+// os.Rename, os.Remove(All), os.Truncate, or os.OpenFile with write flags —
+// because the bare os sequence tears on crash; the only sanctioned write
+// path is a callee whose own parameter carries the annotation (fsx's
+// WriteAtomic, or a wrapper that forwards to it). Handing a durable value
+// to a loaded, unannotated callee whose summary says it PerformsIO is also
+// reported: laundering the write through a helper must not void the
+// contract.
+//
+// Inside package fsx itself the direct calls are the implementation, so the
+// flow checks are skipped; instead a CFG must-analysis proves the protocol:
+// every os.Rename is preceded, on all paths, by a Sync of the written
+// *os.File (write-temp → fsync → close → rename).
+//
+// os.OpenFile with a provably read-only flag expression is quiet; an
+// unprovable flag argument is reported (conservative in the loud direction:
+// the annotation is an explicit request for checking). _test.go files are
+// not checked.
+var Durable = &Analyzer{
+	Name: "durable",
+	Doc:  "qb5000:durable paths must be written through fsx (atomic write-temp → fsync → rename), never by direct os calls",
+	Run:  runDurable,
+}
+
+// durableRe matches the annotation and captures the optional parameter-name
+// list.
+var durableRe = regexp.MustCompile(`^//\s*qb5000:durable\s*(.*)$`)
+
+// osDurableBans maps the os-package calls that tear durable files on crash
+// to the reason shown in the finding.
+var osDurableBans = map[string]string{
+	"Create":    "truncates in place (a crash mid-write destroys the previous contents)",
+	"WriteFile": "truncates in place (a crash mid-write destroys the previous contents)",
+	"Rename":    "renames without the fsync protocol (the data may not be on disk when the name changes)",
+	"Remove":    "deletes a durable file",
+	"RemoveAll": "deletes a durable file",
+	"Truncate":  "truncates a durable file in place",
+}
+
+// durableParams returns, per symbolic function ID, the parameter indices
+// annotated qb5000:durable in the function's doc comment — built lazily
+// once per Program, like noallocIDs, so the contract transfers across
+// package boundaries.
+func (prog *Program) durableParams() map[string]map[int]bool {
+	if prog.durable == nil {
+		prog.durable = make(map[string]map[int]bool)
+		for _, u := range prog.Units {
+			for _, file := range u.Files {
+				for _, decl := range file.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok {
+						continue
+					}
+					if idx := durableParamIndices(fd); len(idx) > 0 {
+						prog.durable[declID(u, fd)] = idx
+					}
+				}
+			}
+		}
+	}
+	return prog.durable
+}
+
+// durableParamIndices resolves the names in fd's doc annotation to
+// positional parameter indices.
+func durableParamIndices(fd *ast.FuncDecl) map[int]bool {
+	if fd.Doc == nil {
+		return nil
+	}
+	names := map[string]bool{}
+	for _, c := range fd.Doc.List {
+		m := durableRe.FindStringSubmatch(c.Text)
+		if m == nil {
+			continue
+		}
+		for _, name := range strings.Fields(m[1]) {
+			names[name] = true
+		}
+	}
+	if len(names) == 0 || fd.Type.Params == nil {
+		return nil
+	}
+	idx := map[int]bool{}
+	i := 0
+	for _, f := range fd.Type.Params.List {
+		for _, name := range f.Names {
+			if names[name.Name] {
+				idx[i] = true
+			}
+			i++
+		}
+		if len(f.Names) == 0 {
+			i++
+		}
+	}
+	return idx
+}
+
+// collectDurable gathers this unit's durable objects: values whose
+// declaration line (or the line above it) carries a bare annotation, struct
+// fields annotated in their doc or line comment, and parameters named in
+// function doc annotations.
+func collectDurable(p *Pass) map[types.Object]bool {
+	objs := map[types.Object]bool{}
+	for _, file := range p.Files {
+		// Bare annotations by line: the annotation marks the declaration on
+		// its own line or the line directly below.
+		annotated := map[int]bool{}
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if m := durableRe.FindStringSubmatch(c.Text); m != nil && strings.TrimSpace(m[1]) == "" {
+					annotated[p.Fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+		markIdent := func(id *ast.Ident) {
+			if id.Name == "_" {
+				return
+			}
+			if obj := p.Info.Defs[id]; obj != nil {
+				objs[obj] = true
+			}
+		}
+		onAnnotatedLine := func(n ast.Node) bool {
+			l := p.Fset.Position(n.Pos()).Line
+			return annotated[l] || annotated[l-1]
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.ValueSpec:
+				if onAnnotatedLine(x) {
+					for _, name := range x.Names {
+						markIdent(name)
+					}
+				}
+			case *ast.AssignStmt:
+				if onAnnotatedLine(x) {
+					for _, lhs := range x.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							markIdent(id)
+						}
+					}
+				}
+			case *ast.Field:
+				if onAnnotatedLine(x) {
+					for _, name := range x.Names {
+						markIdent(name)
+					}
+				}
+			case *ast.FuncDecl:
+				idx := durableParamIndices(x)
+				if len(idx) == 0 {
+					return true
+				}
+				i := 0
+				for _, f := range x.Type.Params.List {
+					for _, name := range f.Names {
+						if idx[i] {
+							markIdent(name)
+						}
+						i++
+					}
+					if len(f.Names) == 0 {
+						i++
+					}
+				}
+			}
+			return true
+		})
+	}
+	return objs
+}
+
+func runDurable(p *Pass) {
+	if p.Pkg != nil && p.Pkg.Name() == "fsx" {
+		checkFsxProtocol(p)
+		return
+	}
+	durables := collectDurable(p)
+	if len(durables) == 0 {
+		return
+	}
+	mentions := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && durables[p.Info.ObjectOf(id)] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	var calleeDurable map[string]map[int]bool
+	if p.Prog != nil {
+		calleeDurable = p.Prog.durableParams()
+	}
+	for _, file := range p.Files {
+		if p.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			durableArgs := make([]int, 0, len(call.Args))
+			for i, arg := range call.Args {
+				if mentions(arg) {
+					durableArgs = append(durableArgs, i)
+				}
+			}
+			if len(durableArgs) == 0 {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && isPkgIdent(p.Info, sel.X, "os") {
+				if reason, banned := osDurableBans[sel.Sel.Name]; banned {
+					p.Reportf(call.Pos(), "os.%s on a qb5000:durable path %s; write it through fsx.WriteAtomic", sel.Sel.Name, reason)
+					return true
+				}
+				if sel.Sel.Name == "OpenFile" {
+					checkOpenFileFlags(p, call)
+					return true
+				}
+			}
+			tf := staticCallee(p.Info, call)
+			if tf == nil {
+				return true
+			}
+			id := funcID(tf)
+			ann := calleeDurable[id]
+			allAnnotated := true
+			for _, i := range durableArgs {
+				if !ann[i] {
+					allAnnotated = false
+				}
+			}
+			if allAnnotated {
+				return true // the callee carries the contract forward
+			}
+			if p.Prog != nil {
+				if cs := p.Prog.Summaries[id]; cs != nil && cs.PerformsIO {
+					p.Reportf(call.Pos(), "qb5000:durable path handed to %s, which performs filesystem writes without a qb5000:durable parameter contract; route the write through fsx.WriteAtomic or annotate the callee's parameter", tf.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkOpenFileFlags reports os.OpenFile on a durable path unless the flag
+// argument provably contains no write bits.
+func checkOpenFileFlags(p *Pass, call *ast.CallExpr) {
+	if len(call.Args) >= 2 {
+		if tv, ok := p.Info.Types[call.Args[1]]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+			if v, exact := constant.Int64Val(tv.Value); exact {
+				const writeBits = int64(os.O_WRONLY | os.O_RDWR | os.O_APPEND | os.O_CREATE | os.O_TRUNC)
+				if v&writeBits == 0 {
+					return // provably read-only
+				}
+			}
+		}
+	}
+	p.Reportf(call.Pos(), "os.OpenFile on a qb5000:durable path with write flags (or flags the analyzer cannot prove read-only); write it through fsx.WriteAtomic")
+}
+
+// checkFsxProtocol is the must-analysis run inside package fsx: at every
+// os.Rename element, some Sync of a written *os.File must have happened on
+// every incoming path.
+func checkFsxProtocol(p *Pass) {
+	for _, file := range p.Files {
+		if p.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkRenameSynced(p, fd.Body)
+		}
+	}
+}
+
+// syncedFact is the must-set of *os.File objects fsynced on every path to
+// the current point. Facts are persistent: transfer copies before adding.
+type syncedFact map[types.Object]bool
+
+func checkRenameSynced(p *Pass, body *ast.BlockStmt) {
+	g := buildCFG(body)
+	transfer := func(f syncedFact, n ast.Node) syncedFact {
+		var add []types.Object
+		ast.Inspect(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Sync" {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if t := p.Info.TypeOf(id); t == nil || t.String() != "*os.File" {
+				return true
+			}
+			if obj := p.Info.ObjectOf(id); obj != nil {
+				add = append(add, obj)
+			}
+			return true
+		})
+		if len(add) == 0 {
+			return f
+		}
+		nf := make(syncedFact, len(f)+len(add))
+		for k := range f {
+			nf[k] = true
+		}
+		for _, obj := range add {
+			nf[obj] = true
+		}
+		return nf
+	}
+	join := func(a, b syncedFact) syncedFact {
+		out := syncedFact{}
+		for k := range a {
+			if b[k] {
+				out[k] = true
+			}
+		}
+		return out
+	}
+	equal := func(a, b syncedFact) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k := range a {
+			if !b[k] {
+				return false
+			}
+		}
+		return true
+	}
+	forwardFlow(g, syncedFact{}, transfer, join, equal, func(n ast.Node, f syncedFact) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Rename" || !isPkgIdent(p.Info, sel.X, "os") {
+				return true
+			}
+			if len(f) == 0 {
+				p.Reportf(call.Pos(), "os.Rename without an fsync of the written file on every path to it; the atomic-write protocol is write-temp → fsync → close → rename")
+			}
+			return true
+		})
+	})
+}

@@ -47,7 +47,7 @@ type Analyzer struct {
 }
 
 // All is the full qb5000vet suite.
-var All = []*Analyzer{SeededRand, NoClock, MapOrder, CtxFirst, FloatEq, GuardedBy, SliceShare, ErrFlow, GoLeak, CtxProp, HandleLife, LockOrder, NoAlloc}
+var All = []*Analyzer{SeededRand, NoClock, MapOrder, CtxFirst, FloatEq, GuardedBy, SliceShare, ErrFlow, GoLeak, CtxProp, HandleLife, LockOrder, NoAlloc, Durable, FaultPath}
 
 // A Pass carries one type-checked package through the analyzers.
 type Pass struct {
@@ -188,6 +188,7 @@ var annotationKeyRe = regexp.MustCompile(`^//\s*qb5000:([A-Za-z0-9_-]+)`)
 // (qb5000:noalock) would otherwise be silently ignored, quietly voiding the
 // contract it meant to declare.
 var knownAnnotationKeys = map[string]bool{
+	"durable":   true,
 	"guardedby": true,
 	"locked":    true,
 	"lockorder": true,
@@ -208,7 +209,7 @@ func directives(fset *token.FileSet, files []*ast.File) (suppressions, []Finding
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
 				if km := annotationKeyRe.FindStringSubmatch(c.Text); km != nil && !knownAnnotationKeys[km[1]] {
-					report(c.Pos(), "unknown qb5000: annotation key %q (known: guardedby, locked, lockorder, noalloc)", km[1])
+					report(c.Pos(), "unknown qb5000: annotation key %q (known: durable, guardedby, locked, lockorder, noalloc)", km[1])
 					continue
 				}
 				m := ignoreRe.FindStringSubmatch(c.Text)
@@ -227,7 +228,7 @@ func directives(fset *token.FileSet, files []*ast.File) (suppressions, []Finding
 				pos := fset.Position(c.Pos())
 				for _, name := range strings.Split(names, ",") {
 					if !knownAnalyzers[name] {
-						report(c.Pos(), "lint:ignore names unknown analyzer %q (known: seededrand, noclock, maporder, ctxfirst, floateq, guardedby, sliceshare, errflow, goleak, ctxprop, handlelife, lockorder, noalloc)", name)
+						report(c.Pos(), "lint:ignore names unknown analyzer %q (known: seededrand, noclock, maporder, ctxfirst, floateq, guardedby, sliceshare, errflow, goleak, ctxprop, handlelife, lockorder, noalloc, durable, faultpath)", name)
 						continue
 					}
 					sup.add(name, pos.Filename, pos.Line)

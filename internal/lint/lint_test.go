@@ -98,6 +98,13 @@ func TestHandleLifeGolden(t *testing.T) { runGolden(t, HandleLife, "handlelife",
 
 func TestLockOrderGolden(t *testing.T) { runGolden(t, LockOrder, "lockorder", "fixture/lockorder") }
 func TestNoAllocGolden(t *testing.T)   { runGolden(t, NoAlloc, "noalloc", "fixture/noalloc") }
+func TestDurableGolden(t *testing.T)   { runGolden(t, Durable, "durable", "fixture/durable") }
+func TestFaultPathGolden(t *testing.T) { runGolden(t, FaultPath, "faultpath", "fixture/faultpath") }
+
+// TestFsxProtocolGolden drives the durable analyzer's in-fsx mode: the
+// fixture's package clause is named fsx, so the sync-before-rename
+// must-analysis runs instead of the annotation flow checks.
+func TestFsxProtocolGolden(t *testing.T) { runGolden(t, Durable, "fsxproto", "fixture/fsxproto") }
 
 // TestUnknownAnnotationKeyGolden checks the qb5000: key hygiene scan: a
 // typo'd annotation key is a finding, regardless of which analyzer runs.

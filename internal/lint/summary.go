@@ -45,6 +45,12 @@ type FuncSummary struct {
 	// would flag (make/new, escaping composites, fmt, conversions, closures,
 	// map writes, goroutine spawns), directly or via a static non-go callee.
 	Allocates bool
+	// PerformsIO: the body mutates the filesystem (os.Create/WriteFile/
+	// Rename/Remove/…, or writes through an *os.File), directly or via any
+	// static callee — go statements included, since a spawned write still
+	// touches disk on the caller's behalf. The durable analyzer uses it to
+	// catch annotated paths laundered through an unannotated helper.
+	PerformsIO bool
 	// Closes marks parameters the function closes on some path (including
 	// via static callees); key -1 is the method receiver.
 	Closes map[int]bool
@@ -64,10 +70,14 @@ type Program struct {
 	Graph     *CallGraph
 	Summaries map[string]*FuncSummary
 
-	// Lazily built program-wide artifacts: the lock-order graph (lockorder)
-	// and the set of qb5000:noalloc-annotated function IDs (noalloc).
+	// Lazily built program-wide artifacts: the lock-order graph (lockorder),
+	// the set of qb5000:noalloc-annotated function IDs (noalloc), the
+	// per-function qb5000:durable parameter indices (durable), and the
+	// failpoint registry cross-reference (faultpath).
 	lockGraph *LockOrderGraph
 	noalloc   map[string]bool
+	durable   map[string]map[int]bool
+	failpts   *fpRegistry
 }
 
 // NewProgram builds the call graph and summaries over the given units.
@@ -109,10 +119,10 @@ func computeSummaries(g *CallGraph) map[string]*FuncSummary {
 // current summaries, reporting whether any bit changed.
 // bits snapshots the comparable part of a summary (everything but the maps,
 // which are tracked by size — entries are only ever added).
-func (s *FuncSummary) bits() [10]bool {
-	return [10]bool{s.AcceptsCtx, s.ForwardsCtx, s.UsesFreshCtx, s.Spawns,
+func (s *FuncSummary) bits() [11]bool {
+	return [11]bool{s.AcceptsCtx, s.ForwardsCtx, s.UsesFreshCtx, s.Spawns,
 		s.MayBlockForever, s.NoReturn, s.ReturnsOpen, s.AcquiresLock, s.ReleasesLock,
-		s.Allocates}
+		s.Allocates, s.PerformsIO}
 }
 
 func summarize(n *FuncNode, sums map[string]*FuncSummary) bool {
@@ -148,6 +158,9 @@ func summarize(n *FuncNode, sums map[string]*FuncSummary) bool {
 		if !s.Allocates && bodyAllocates(info, n.Body, params) {
 			s.Allocates = true
 		}
+		if !s.PerformsIO && bodyPerformsIO(info, n.Body) {
+			s.PerformsIO = true
+		}
 	}
 
 	// Callee propagation over static edges only.
@@ -168,6 +181,11 @@ func summarize(n *FuncNode, sums map[string]*FuncSummary) bool {
 		}
 		if cs.UsesFreshCtx && !cs.AcceptsCtx {
 			s.UsesFreshCtx = true
+		}
+		// Filesystem effects propagate across go edges too: the disk does
+		// not care which goroutine issued the write.
+		if cs.PerformsIO {
+			s.PerformsIO = true
 		}
 		// A spawned callee's lock traffic and allocations happen on the new
 		// goroutine, not in this frame.
@@ -396,6 +414,53 @@ func scanReturnsOpen(n *FuncNode, s *FuncSummary, info *types.Info, sums map[str
 		}
 		return true
 	})
+}
+
+// osMutators are the os-package calls that mutate the filesystem; together
+// with writes through an *os.File they define the PerformsIO bit. os.Open
+// is deliberately absent: reading is not a durability hazard.
+var osMutators = map[string]bool{
+	"Create": true, "CreateTemp": true, "OpenFile": true, "WriteFile": true,
+	"Rename": true, "Remove": true, "RemoveAll": true, "Truncate": true,
+	"Mkdir": true, "MkdirAll": true, "MkdirTemp": true, "Symlink": true, "Link": true,
+}
+
+// osFileWriteMethods are the (*os.File) methods that land bytes or metadata
+// on disk.
+var osFileWriteMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteAt": true, "Sync": true, "Truncate": true,
+}
+
+// bodyPerformsIO is the summary-layer filesystem scan feeding PerformsIO.
+// The walk covers closures too: a FuncLit defined here that writes runs on
+// this function's behalf wherever it ends up.
+func bodyPerformsIO(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if isPkgIdent(info, sel.X, "os") && osMutators[sel.Sel.Name] {
+			found = true
+			return false
+		}
+		if osFileWriteMethods[sel.Sel.Name] {
+			if t := info.TypeOf(sel.X); t != nil && t.String() == "*os.File" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
 }
 
 // osOpeners and netOpeners are the stdlib calls that mint close obligations.

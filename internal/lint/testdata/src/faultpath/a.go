@@ -1,0 +1,72 @@
+// Package faultpathfix exercises the faultpath analyzer: sites must be
+// registered exactly once, reachable from an Inject seam, named by string
+// constants, and their injected errors must propagate.
+package faultpathfix
+
+import (
+	"fmt"
+
+	"qb5000/internal/failpoint"
+)
+
+const (
+	siteWrite  = "fix.write"
+	siteOrphan = "fix.orphan"
+)
+
+var (
+	_ = failpoint.Register(siteWrite)
+	_ = failpoint.Register(siteOrphan) // want "has no failpoint.Inject site"
+	_ = failpoint.Register("fix.dup")
+	_ = failpoint.Register("fix.dup") // want "registered more than once"
+)
+
+func dynamicRegister(name string) string {
+	return failpoint.Register(name) // want "must be a string constant"
+}
+
+func dynamicInject(name string) error {
+	return failpoint.Inject(name) // want "must be a string constant"
+}
+
+func typo() error {
+	return failpoint.Inject("fix.wrte") // want "not declared in the registry"
+}
+
+// propagated is the canonical seam shape: the fault flows to the caller.
+func propagated() error {
+	if err := failpoint.Inject(siteWrite); err != nil {
+		return fmt.Errorf("write seam: %w", err)
+	}
+	return failpoint.Inject("fix.dup")
+}
+
+func swallowedStmt() {
+	failpoint.Inject(siteWrite) // want "result discarded"
+}
+
+func swallowedBlank() {
+	_ = failpoint.Inject(siteWrite) // want "assigned to _"
+}
+
+// swallowedDead binds the fault but overwrites it before any read: the
+// only definition reaching the return is the nil one.
+func swallowedDead() error {
+	err := failpoint.Inject(siteWrite) // want "never read after this assignment"
+	err = nil
+	return err
+}
+
+func boundAndChecked() error {
+	err := failpoint.Inject(siteWrite)
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+func inClosure() func() {
+	return func() {
+		failpoint.Inject(siteWrite) // want "result discarded"
+	}
+}

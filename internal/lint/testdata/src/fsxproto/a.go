@@ -1,0 +1,50 @@
+// Package fsx (fixture) exercises the protocol must-analysis the durable
+// analyzer runs inside any package named fsx: every os.Rename must be
+// preceded by an fsync of the written file on all incoming paths.
+package fsx
+
+import "os"
+
+// good follows write-temp → fsync → close → rename.
+func good(path, tmpName string, tmp *os.File) error {
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmpName, path)
+}
+
+// bad renames with no fsync at all: the data may still be in the page
+// cache when the name changes.
+func bad(path, tmpName string, tmp *os.File) error {
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmpName, path) // want "os.Rename without an fsync"
+}
+
+// branchy syncs on only one of the two paths reaching the rename.
+func branchy(path, tmpName string, tmp *os.File, fast bool) error {
+	if !fast {
+		if err := tmp.Sync(); err != nil {
+			return err
+		}
+	}
+	return os.Rename(tmpName, path) // want "os.Rename without an fsync"
+}
+
+// allPaths syncs on both branches, so the must-set survives the join.
+func allPaths(path, tmpName string, tmp *os.File, fast bool) error {
+	if fast {
+		if err := tmp.Sync(); err != nil {
+			return err
+		}
+	} else {
+		if err := tmp.Sync(); err != nil {
+			return err
+		}
+	}
+	return os.Rename(tmpName, path)
+}

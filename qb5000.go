@@ -23,10 +23,12 @@ package qb5000
 import (
 	"context"
 	"io"
+	"os"
 	"time"
 
 	"qb5000/internal/cluster"
 	"qb5000/internal/core"
+	"qb5000/internal/fsx"
 	"qb5000/internal/preprocess"
 )
 
@@ -341,8 +343,41 @@ func (f *Forecaster) Save(w io.Writer) error {
 	return f.ctl.Snapshot(w)
 }
 
+// SaveFile persists the forecaster's durable state to path atomically and
+// durably: the snapshot is written to a temp file in path's directory,
+// fsynced, and renamed over path (fsx.WriteAtomic). A crash or error at any
+// point — including mid-write power loss — leaves the previous snapshot at
+// path intact.
+//
+// qb5000:durable path
+func (f *Forecaster) SaveFile(path string) error {
+	return fsx.WriteAtomic(path, f.Save)
+}
+
+// LoadFile reconstructs a Forecaster from a snapshot file written by
+// SaveFile. Damaged files — truncated, bit-flipped, or carrying trailing
+// garbage — are rejected with a descriptive error.
+//
+// qb5000:durable path
+func LoadFile(cfg Config, path string) (*Forecaster, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := Load(cfg, file)
+	if cerr := file.Close(); err == nil && cerr != nil {
+		return nil, cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
 // Load reconstructs a Forecaster from a snapshot written by Save, under the
-// given configuration.
+// given configuration. The stream carries a length-prefixed, checksummed
+// envelope; truncation and corruption surface as clean errors, never as a
+// decoder panic or silently partial state.
 func Load(cfg Config, r io.Reader) (*Forecaster, error) {
 	mode := cluster.ArrivalRate
 	if cfg.UseLogicalFeatures {
