@@ -2,7 +2,7 @@
 // checked-in baseline and exits non-zero when the geomean ns/op regression
 // exceeds the threshold. It is the CI perf gate for the observe hot path:
 //
-//	go test -run XXX -bench 'BenchmarkObserve' -count 6 . > new.txt
+//	go test -run '^$' -bench 'BenchmarkObserve' -count 6 . > new.txt
 //	benchgate -baseline bench_baseline.txt -new new.txt -max-regress 0.15
 //
 // Exit codes: 0 pass, 1 regression over threshold, 2 usage or I/O error.
@@ -14,6 +14,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"strings"
 
 	"qb5000/internal/lint/benchdiff"
 )
@@ -71,8 +72,14 @@ func main() {
 		}
 	}
 	if rep.Failed() {
-		fmt.Fprintf(os.Stderr, "benchgate: FAIL: geomean ns/op regressed %+.1f%% (limit %+.1f%%)\n",
-			(rep.Geomean-1)*100, (rep.Threshold-1)*100)
+		if len(rep.Invalid) > 0 {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL: unusable (non-positive ns/op) samples for: %s\n",
+				strings.Join(rep.Invalid, ", "))
+		}
+		if rep.Geomean > rep.Threshold {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL: geomean ns/op regressed %+.1f%% (limit %+.1f%%)\n",
+				(rep.Geomean-1)*100, (rep.Threshold-1)*100)
+		}
 		os.Exit(1)
 	}
 	fmt.Printf("benchgate: ok (geomean %+.1f%%, limit %+.1f%%)\n", (rep.Geomean-1)*100, (rep.Threshold-1)*100)

@@ -47,6 +47,8 @@ func main() {
 		shards      = flag.Int("shards", 0, "catalog lock stripes, rounded up to a power of two (0 = all cores, 1 = reproducible sequential IDs)")
 		fpcache     = flag.Int("fpcache", 0, "fingerprint-cache entries: repeated raw SQL skips parsing (0 = disabled)")
 		maintain    = flag.Duration("maintain-every", 0, "periodic re-cluster + retrain cadence (0 disables the background loop)")
+		maxInflight = flag.Int64("max-inflight", 0, "max concurrently admitted /observe and /forecast requests, each endpoint on its own gate; excess sheds with 429 (0 = unlimited)")
+		observeRate = flag.Float64("observe-rate", 0, "sustained /observe admission rate per second, token-bucket smoothed (0 = unlimited)")
 		loadPath    = flag.String("load", "", "restore the catalog from a snapshot at startup")
 		// qb5000:durable
 		savePath = flag.String("save", "", "write a catalog snapshot to this file on clean shutdown (atomic + fsync)")
@@ -86,7 +88,10 @@ func main() {
 		f = qb5000.New(cfg)
 	}
 
-	srv := server.New(f)
+	srv := server.NewWithConfig(f, server.Config{
+		MaxInflight: *maxInflight,
+		ObserveRate: *observeRate,
+	})
 	httpSrv := &http.Server{
 		Addr:        *addr,
 		Handler:     srv.Handler(),

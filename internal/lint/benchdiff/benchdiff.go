@@ -82,6 +82,11 @@ func stripProcs(name string) string {
 	return name[:i]
 }
 
+// usable reports whether a per-side geomean can anchor a ratio: positive and
+// finite. NaN compares false to everything, so the single comparison covers
+// zero, negative, and NaN inputs alike.
+func usable(v float64) bool { return v > 0 && !math.IsInf(v, 0) }
+
 // geomean returns the geometric mean of vs (which must be positive).
 func geomean(vs []float64) float64 {
 	if len(vs) == 0 {
@@ -113,10 +118,17 @@ type Report struct {
 	// excluded from Geomean but surfaced so a silently dropped benchmark
 	// cannot pass the gate unnoticed.
 	OldOnly, NewOnly []string
+	// Invalid lists benchmarks whose samples on either side geomean to a
+	// non-positive or non-finite ns/op (a zero-valued or corrupt line fed in
+	// via the Samples API). They are excluded from Geomean — a ratio against
+	// zero is meaningless — and they fail the gate: an unusable baseline must
+	// never read as a pass.
+	Invalid []string
 }
 
-// Failed reports whether the overall regression exceeds the threshold.
-func (r Report) Failed() bool { return r.Geomean > r.Threshold }
+// Failed reports whether the overall regression exceeds the threshold or any
+// benchmark had unusable samples.
+func (r Report) Failed() bool { return r.Geomean > r.Threshold || len(r.Invalid) > 0 }
 
 // Compare matches benchmarks by name and computes per-benchmark and overall
 // geomean ratios. maxRegress is the fractional regression bar: 0.15 fails
@@ -131,6 +143,10 @@ func Compare(oldS, newS Samples, maxRegress float64) (Report, error) {
 			continue
 		}
 		d := BenchDelta{Name: name, Old: geomean(olds), New: geomean(news)}
+		if !usable(d.Old) || !usable(d.New) {
+			rep.Invalid = append(rep.Invalid, name)
+			continue
+		}
 		d.Ratio = d.New / d.Old
 		rep.Deltas = append(rep.Deltas, d)
 		ratios = append(ratios, d.Ratio)
@@ -141,11 +157,17 @@ func Compare(oldS, newS Samples, maxRegress float64) (Report, error) {
 		}
 	}
 	if len(ratios) == 0 {
+		if len(rep.Invalid) > 0 {
+			sort.Strings(rep.Invalid)
+			return rep, fmt.Errorf("benchdiff: every common benchmark has unusable (non-positive ns/op) samples: %s",
+				strings.Join(rep.Invalid, ", "))
+		}
 		return rep, fmt.Errorf("benchdiff: no benchmarks in common")
 	}
 	sort.Slice(rep.Deltas, func(i, j int) bool { return rep.Deltas[i].Name < rep.Deltas[j].Name })
 	sort.Strings(rep.OldOnly)
 	sort.Strings(rep.NewOnly)
+	sort.Strings(rep.Invalid)
 	rep.Geomean = geomean(ratios)
 	return rep, nil
 }
@@ -170,6 +192,9 @@ func (r Report) Format(w io.Writer) error {
 	}
 	for _, n := range r.NewOnly {
 		fmt.Fprintf(&b, "not in baseline: %s\n", n)
+	}
+	for _, n := range r.Invalid {
+		fmt.Fprintf(&b, "unusable samples (non-positive ns/op): %s\n", n)
 	}
 	_, err := io.WriteString(w, b.String())
 	return err

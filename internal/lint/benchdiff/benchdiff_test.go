@@ -126,6 +126,103 @@ func TestCompareNoCommon(t *testing.T) {
 	}
 }
 
+// TestParseIgnoresZeroValued documents Parse's contract: a `0 ns/op` line is
+// not a sample (timers cannot measure it), so it never reaches Compare.
+func TestParseIgnoresZeroValued(t *testing.T) {
+	s, err := Parse(strings.NewReader("BenchmarkZero-8 1000 0 ns/op\nBenchmarkZero-8 1000 0.00 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 0 {
+		t.Fatalf("zero-valued lines parsed as samples: %v", s)
+	}
+}
+
+// TestCompareZeroBaseline feeds a zero-valued baseline sample through the
+// Samples API: the benchmark must land in Invalid (no divide-by-zero, no
+// NaN/Inf geomean), the rest of the report must stay descriptive, and the
+// gate must fail rather than silently pass on an unusable baseline.
+func TestCompareZeroBaseline(t *testing.T) {
+	old := mk(map[string][]float64{"BenchmarkA": {0}, "BenchmarkB": {200}})
+	cur := mk(map[string][]float64{"BenchmarkA": {100}, "BenchmarkB": {200}})
+	rep, err := Compare(old, cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Invalid) != 1 || rep.Invalid[0] != "BenchmarkA" {
+		t.Fatalf("Invalid = %v, want [BenchmarkA]", rep.Invalid)
+	}
+	if len(rep.Deltas) != 1 || rep.Deltas[0].Name != "BenchmarkB" {
+		t.Fatalf("Deltas = %+v, want only BenchmarkB", rep.Deltas)
+	}
+	if math.IsNaN(rep.Geomean) || math.IsInf(rep.Geomean, 0) || rep.Geomean != 1 {
+		t.Fatalf("geomean = %v, want 1 (zero baseline must not poison it)", rep.Geomean)
+	}
+	if !rep.Failed() {
+		t.Fatal("unusable baseline sample passed the gate")
+	}
+	var sb strings.Builder
+	if err := rep.Format(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "unusable samples (non-positive ns/op): BenchmarkA") {
+		t.Fatalf("report does not name the unusable benchmark:\n%s", sb.String())
+	}
+}
+
+// TestCompareZeroNewSide is the mirror: zero samples in the fresh run are just
+// as unusable as a zero baseline.
+func TestCompareZeroNewSide(t *testing.T) {
+	old := mk(map[string][]float64{"BenchmarkA": {100}, "BenchmarkB": {200}})
+	cur := mk(map[string][]float64{"BenchmarkA": {0}, "BenchmarkB": {200}})
+	rep, err := Compare(old, cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Invalid) != 1 || rep.Invalid[0] != "BenchmarkA" {
+		t.Fatalf("Invalid = %v, want [BenchmarkA]", rep.Invalid)
+	}
+	if !rep.Failed() {
+		t.Fatal("unusable fresh sample passed the gate")
+	}
+}
+
+// TestCompareAllInvalid: when every common benchmark is unusable there is no
+// geomean to gate on; Compare must say so by name instead of reporting "no
+// benchmarks in common".
+func TestCompareAllInvalid(t *testing.T) {
+	old := mk(map[string][]float64{"BenchmarkA": {0}})
+	cur := mk(map[string][]float64{"BenchmarkA": {100}})
+	_, err := Compare(old, cur, 0.15)
+	if err == nil {
+		t.Fatal("expected an error when every common benchmark is unusable")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkA") || !strings.Contains(err.Error(), "unusable") {
+		t.Fatalf("error does not name the unusable benchmark: %v", err)
+	}
+}
+
+// TestCompareBaselineOnly: a baseline with no counterpart in the fresh run is
+// surfaced by name so a silently dropped benchmark is visible in the report.
+func TestCompareBaselineOnly(t *testing.T) {
+	old := mk(map[string][]float64{"BenchmarkA": {100}, "BenchmarkGone": {50}})
+	cur := mk(map[string][]float64{"BenchmarkA": {100}})
+	rep, err := Compare(old, cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.OldOnly) != 1 || rep.OldOnly[0] != "BenchmarkGone" {
+		t.Fatalf("OldOnly = %v", rep.OldOnly)
+	}
+	var sb strings.Builder
+	if err := rep.Format(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "missing from new run: BenchmarkGone") {
+		t.Fatalf("report does not surface the dropped benchmark:\n%s", sb.String())
+	}
+}
+
 func TestFormat(t *testing.T) {
 	old := mk(map[string][]float64{"BenchmarkA": {100}})
 	cur := mk(map[string][]float64{"BenchmarkA": {150}, "BenchmarkNew": {10}})

@@ -51,6 +51,12 @@ type FuncNode struct {
 	// methodRecv names the receiver type ("pkg.T") for methods, "" otherwise.
 	methodRecv string
 
+	// boundedAnn records a // qb5000:bounded doc annotation: the author
+	// audited this function's goroutine spawning as gated by a bounded
+	// pool/semaphore. Literals inherit the flag from their enclosing
+	// declaration (the audit covers the whole body).
+	boundedAnn bool
+
 	// Tarjan bookkeeping.
 	index, lowlink int
 	onStack        bool
@@ -185,11 +191,12 @@ func buildCallGraph(units []*Package) *CallGraph {
 					continue
 				}
 				node := &FuncNode{
-					ID:   declID(pkg, fd),
-					Pkg:  pkg,
-					Decl: fd,
-					Type: fd.Type,
-					Body: fd.Body,
+					ID:         declID(pkg, fd),
+					Pkg:        pkg,
+					Decl:       fd,
+					Type:       fd.Type,
+					Body:       fd.Body,
+					boundedAnn: hasBoundedAnn(fd.Doc),
 				}
 				if fd.Recv != nil && len(fd.Recv.List) > 0 {
 					if name := recvName(fd.Recv.List[0].Type); name != "" {
@@ -209,11 +216,12 @@ func buildCallGraph(units []*Package) *CallGraph {
 				litN := 0
 				inspectFuncLits(fd.Body, func(lit *ast.FuncLit) {
 					ln := &FuncNode{
-						ID:   fmt.Sprintf("%s$lit%d", node.ID, litN),
-						Pkg:  pkg,
-						Lit:  lit,
-						Type: lit.Type,
-						Body: lit.Body,
+						ID:         fmt.Sprintf("%s$lit%d", node.ID, litN),
+						Pkg:        pkg,
+						Lit:        lit,
+						Type:       lit.Type,
+						Body:       lit.Body,
+						boundedAnn: node.boundedAnn,
 					}
 					litN++
 					litNodes[lit] = ln

@@ -47,7 +47,7 @@ type Analyzer struct {
 }
 
 // All is the full qb5000vet suite.
-var All = []*Analyzer{SeededRand, NoClock, MapOrder, CtxFirst, FloatEq, GuardedBy, SliceShare, ErrFlow, GoLeak, CtxProp, HandleLife, LockOrder, NoAlloc, Durable, FaultPath}
+var All = []*Analyzer{SeededRand, NoClock, MapOrder, CtxFirst, FloatEq, GuardedBy, SliceShare, ErrFlow, GoLeak, CtxProp, HandleLife, LockOrder, NoAlloc, Durable, FaultPath, Bounded, ShedFlow}
 
 // A Pass carries one type-checked package through the analyzers.
 type Pass struct {
@@ -188,11 +188,13 @@ var annotationKeyRe = regexp.MustCompile(`^//\s*qb5000:([A-Za-z0-9_-]+)`)
 // (qb5000:noalock) would otherwise be silently ignored, quietly voiding the
 // contract it meant to declare.
 var knownAnnotationKeys = map[string]bool{
+	"bounded":   true,
 	"durable":   true,
 	"guardedby": true,
 	"locked":    true,
 	"lockorder": true,
 	"noalloc":   true,
+	"serving":   true,
 }
 
 // directives scans comments for //lint:ignore markers. It returns the
@@ -209,7 +211,7 @@ func directives(fset *token.FileSet, files []*ast.File) (suppressions, []Finding
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
 				if km := annotationKeyRe.FindStringSubmatch(c.Text); km != nil && !knownAnnotationKeys[km[1]] {
-					report(c.Pos(), "unknown qb5000: annotation key %q (known: durable, guardedby, locked, lockorder, noalloc)", km[1])
+					report(c.Pos(), "unknown qb5000: annotation key %q (known: bounded, durable, guardedby, locked, lockorder, noalloc, serving)", km[1])
 					continue
 				}
 				m := ignoreRe.FindStringSubmatch(c.Text)
@@ -228,7 +230,7 @@ func directives(fset *token.FileSet, files []*ast.File) (suppressions, []Finding
 				pos := fset.Position(c.Pos())
 				for _, name := range strings.Split(names, ",") {
 					if !knownAnalyzers[name] {
-						report(c.Pos(), "lint:ignore names unknown analyzer %q (known: seededrand, noclock, maporder, ctxfirst, floateq, guardedby, sliceshare, errflow, goleak, ctxprop, handlelife, lockorder, noalloc, durable, faultpath)", name)
+						report(c.Pos(), "lint:ignore names unknown analyzer %q (known: seededrand, noclock, maporder, ctxfirst, floateq, guardedby, sliceshare, errflow, goleak, ctxprop, handlelife, lockorder, noalloc, durable, faultpath, bounded, shedflow)", name)
 						continue
 					}
 					sup.add(name, pos.Filename, pos.Line)

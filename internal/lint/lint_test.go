@@ -100,6 +100,8 @@ func TestLockOrderGolden(t *testing.T) { runGolden(t, LockOrder, "lockorder", "f
 func TestNoAllocGolden(t *testing.T)   { runGolden(t, NoAlloc, "noalloc", "fixture/noalloc") }
 func TestDurableGolden(t *testing.T)   { runGolden(t, Durable, "durable", "fixture/durable") }
 func TestFaultPathGolden(t *testing.T) { runGolden(t, FaultPath, "faultpath", "fixture/faultpath") }
+func TestBoundedGolden(t *testing.T)   { runGolden(t, Bounded, "bounded", "fixture/bounded") }
+func TestShedFlowGolden(t *testing.T)  { runGolden(t, ShedFlow, "shedflow", "fixture/shedflow") }
 
 // TestFsxProtocolGolden drives the durable analyzer's in-fsx mode: the
 // fixture's package clause is named fsx, so the sync-before-rename

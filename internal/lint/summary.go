@@ -51,6 +51,15 @@ type FuncSummary struct {
 	// touches disk on the caller's behalf. The durable analyzer uses it to
 	// catch annotated paths laundered through an unannotated helper.
 	PerformsIO bool
+	// Bounded: every goroutine the function spawns (directly or via static
+	// callees) is gated by an audited bounded pool/semaphore. Unlike the
+	// other bits this is a greatest fixed point — it starts true and is
+	// cleared (true → false only) by an ungated `go` statement or by calling
+	// a spawning callee whose own Bounded bit was cleared. A
+	// // qb5000:bounded doc annotation vouches for the whole body: nothing
+	// under an annotated function clears the bit. The bounded analyzer
+	// requires Bounded on everything reachable from a qb5000:serving entry.
+	Bounded bool
 	// Closes marks parameters the function closes on some path (including
 	// via static callees); key -1 is the method receiver.
 	Closes map[int]bool
@@ -72,12 +81,14 @@ type Program struct {
 
 	// Lazily built program-wide artifacts: the lock-order graph (lockorder),
 	// the set of qb5000:noalloc-annotated function IDs (noalloc), the
-	// per-function qb5000:durable parameter indices (durable), and the
-	// failpoint registry cross-reference (faultpath).
+	// per-function qb5000:durable parameter indices (durable), the
+	// failpoint registry cross-reference (faultpath), and the set of node
+	// IDs reachable from qb5000:serving entry points (bounded).
 	lockGraph *LockOrderGraph
 	noalloc   map[string]bool
 	durable   map[string]map[int]bool
 	failpts   *fpRegistry
+	servingID map[string]bool
 }
 
 // NewProgram builds the call graph and summaries over the given units.
@@ -97,6 +108,7 @@ func computeSummaries(g *CallGraph) map[string]*FuncSummary {
 	sums := make(map[string]*FuncSummary, len(g.Order))
 	for _, n := range g.Order {
 		sums[n.ID] = &FuncSummary{
+			Bounded:    true, // greatest fixed point: cleared, never set
 			Closes:     make(map[int]bool),
 			Acquires:   make(map[string]bool),
 			HeldAtExit: make(map[string]bool),
@@ -119,10 +131,10 @@ func computeSummaries(g *CallGraph) map[string]*FuncSummary {
 // current summaries, reporting whether any bit changed.
 // bits snapshots the comparable part of a summary (everything but the maps,
 // which are tracked by size — entries are only ever added).
-func (s *FuncSummary) bits() [11]bool {
-	return [11]bool{s.AcceptsCtx, s.ForwardsCtx, s.UsesFreshCtx, s.Spawns,
+func (s *FuncSummary) bits() [12]bool {
+	return [12]bool{s.AcceptsCtx, s.ForwardsCtx, s.UsesFreshCtx, s.Spawns,
 		s.MayBlockForever, s.NoReturn, s.ReturnsOpen, s.AcquiresLock, s.ReleasesLock,
-		s.Allocates, s.PerformsIO}
+		s.Allocates, s.PerformsIO, s.Bounded}
 }
 
 func summarize(n *FuncNode, sums map[string]*FuncSummary) bool {
@@ -174,6 +186,11 @@ func summarize(n *FuncNode, sums map[string]*FuncSummary) bool {
 		}
 		if cs.Spawns {
 			s.Spawns = true
+			// An unproven spawner taints its callers unless this function's
+			// annotation vouches for the whole call tree under it.
+			if !cs.Bounded && !n.boundedAnn {
+				s.Bounded = false
+			}
 		}
 		// A spawned callee blocking forever does not block the spawner.
 		if cs.MayBlockForever && !e.Go {
@@ -274,6 +291,9 @@ func scanOwnBody(n *FuncNode, s *FuncSummary, info *types.Info, sums map[string]
 		switch x := node.(type) {
 		case *ast.GoStmt:
 			s.Spawns = true
+			if !n.boundedAnn {
+				s.Bounded = false
+			}
 		case *ast.CallExpr:
 			if isFreshCtxCall(info, x) {
 				s.UsesFreshCtx = true

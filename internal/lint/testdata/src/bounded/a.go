@@ -1,0 +1,119 @@
+// Package boundedfix exercises the bounded analyzer: code reachable from a
+// qb5000:serving entry point must use constant channel bounds, non-blocking
+// sends, gated spawns, and len()-bounded captured queues.
+package boundedfix
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+const chunk = 64
+
+// qb5000:serving
+func serve(ctx context.Context, n int, items []int) {
+	sized := make(chan int, chunk)
+	_ = make(chan int)       // unbuffered: capacity 0 is a constant
+	bad := make(chan int, n) // want "non-constant capacity"
+
+	select {
+	case sized <- 1: // non-blocking: default escape
+	default:
+	}
+	select {
+	case sized <- 2: // non-blocking: ctx escape
+	case <-ctx.Done():
+	}
+	select {
+	case sized <- 3: // non-blocking: deadline escape
+	case <-time.After(time.Millisecond):
+	}
+	bad <- 4 // want "blocking channel send"
+	select {
+	case bad <- 5: // want "blocking channel send" — no default, no escape
+	case bad <- 6: // want "blocking channel send"
+	}
+
+	go drain(bad) // want "ungated goroutine spawn"
+
+	pooled(items)
+	ungated(items) // want "call to ungated on a serving path spawns goroutines without a proven bound"
+
+	var batch []int
+	flush := func(v int) {
+		batch = append(batch, v) // want "append grows captured batch"
+		if v > 0 {
+			return
+		}
+	}
+	flush(1)
+
+	var guardedBatch []int
+	bounded := func(v int) {
+		guardedBatch = append(guardedBatch, v)
+		if len(guardedBatch) >= chunk {
+			guardedBatch = guardedBatch[:0]
+		}
+	}
+	bounded(2)
+
+	seen := make(map[int]bool)
+	mark := func(v int) {
+		seen[v] = true // want "map write grows captured seen"
+	}
+	mark(3)
+
+	local := func() {
+		var mine []int
+		mine = append(mine, 1) // per-invocation local: quiet
+		_ = mine
+	}
+	local()
+}
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+// pooled is an audited bounded spawner: the WaitGroup caps the fleet at
+// len(items) per call and joins before returning.
+//
+// qb5000:bounded spawn fan-out is joined before return; nothing outlives the call
+func pooled(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// ungated spawns with no gate at all; both the spawn and its serving-path
+// callers are reported.
+func ungated(items []int) {
+	for range items {
+		go func() {}() // want "ungated goroutine spawn"
+	}
+}
+
+// offline is not reachable from any serving entry: every shape the analyzer
+// flags above is quiet here.
+func offline(n int, items []int) {
+	q := make(chan int, n)
+	q <- 1
+	go drain(q)
+	var all []int
+	grow := func(v int) { all = append(all, v) }
+	grow(2)
+	ungatedOffline(items)
+}
+
+func ungatedOffline(items []int) {
+	for range items {
+		go func() {}()
+	}
+}

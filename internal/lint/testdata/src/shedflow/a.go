@@ -1,0 +1,94 @@
+// Package shedflowfix exercises the shedflow analyzer: admission errors
+// must propagate, permits must be released on every path, and handlers that
+// gate requests must map ErrOverload to 429.
+package shedflowfix
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"qb5000/internal/admission"
+)
+
+var gate = admission.New(admission.Options{MaxInflight: 4})
+
+// goodHandler is the contract in full: propagate, map to 429, release.
+func goodHandler(w http.ResponseWriter, r *http.Request) {
+	if err := gate.TryAcquire(1); err != nil {
+		http.Error(w, "overloaded", http.StatusTooManyRequests)
+		return
+	}
+	defer gate.Release(1)
+	w.WriteHeader(http.StatusOK)
+}
+
+// helperHandler maps the overload in a helper; the whole static call tree
+// counts.
+func helperHandler(w http.ResponseWriter, r *http.Request) {
+	if err := gate.TryAcquire(1); err != nil {
+		shed(w)
+		return
+	}
+	defer gate.Release(1)
+	w.WriteHeader(http.StatusOK)
+}
+
+func shed(w http.ResponseWriter) {
+	http.Error(w, "overloaded", http.StatusTooManyRequests)
+}
+
+func noMapHandler(w http.ResponseWriter, r *http.Request) { // want "never maps ErrOverload to 429"
+	if err := gate.TryAcquire(1); err != nil {
+		http.Error(w, "oops", http.StatusInternalServerError)
+		return
+	}
+	defer gate.Release(1)
+	w.WriteHeader(http.StatusOK)
+}
+
+func discard(g *admission.Gate) {
+	g.TryAcquire(1) // want "admission TryAcquire result discarded"
+	g.Release(1)
+}
+
+func blank(g *admission.Gate) {
+	_ = g.TryAcquire(1) // want "admission TryAcquire result assigned to _"
+	g.Release(1)
+}
+
+func deadStore(ctx context.Context, g *admission.Gate) error {
+	err := g.Acquire(ctx, 1) // want "the error from admission Acquire is never read after this assignment"
+	defer g.Release(1)
+	err = ping(ctx)
+	return err
+}
+
+func ping(ctx context.Context) error { return ctx.Err() }
+
+func leak(g *admission.Gate, work func() error) error {
+	if err := g.TryAcquire(1); err != nil { // want "admission permit on g acquired here is not released on every path"
+		return err
+	}
+	return work()
+}
+
+func leakOnPath(g *admission.Gate, fail bool) error {
+	if err := g.TryAcquire(1); err != nil { // want "admission permit on g acquired here is not released on every path"
+		return err
+	}
+	if fail {
+		return errors.New("boom") // early return skips the Release below
+	}
+	g.Release(1)
+	return nil
+}
+
+// released discharges through a deferred closure; quiet.
+func released(g *admission.Gate, work func() error) error {
+	if err := g.TryAcquire(1); err != nil {
+		return err
+	}
+	defer func() { g.Release(1) }()
+	return work()
+}

@@ -49,6 +49,8 @@ func (e *PanicError) Error() string {
 // returns its error. With workers == 1 (or n == 1) the work runs inline on
 // the calling goroutine in index order, checking ctx between items — the
 // exact sequential semantics Parallelism: 1 promises.
+//
+// qb5000:bounded the fleet is capped at Workers(workers) and joined before return
 func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return nil
@@ -107,6 +109,8 @@ func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i
 // only obscures the contract. Panics are not recovered: a panicking fn is a
 // caller bug and tears down the process, exactly as it would serially. With
 // workers == 1 (or n == 1) the work runs inline in index order.
+//
+// qb5000:bounded the fleet is capped at Workers(workers) and joined before return
 func Each(workers, n int, fn func(i int)) {
 	if n <= 0 {
 		return

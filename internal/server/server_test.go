@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -14,6 +16,10 @@ import (
 )
 
 func newTestServer(t *testing.T) (*httptest.Server, *Server) {
+	return newTestServerWithConfig(t, Config{})
+}
+
+func newTestServerWithConfig(t *testing.T, c Config) (*httptest.Server, *Server) {
 	t.Helper()
 	// Cleanups run LIFO: the server closes, then the shared client drops
 	// its keep-alive connections, and only then does the leak check assert
@@ -21,7 +27,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *Server) {
 	t.Cleanup(leakcheck.Take(t).Done)
 	t.Cleanup(http.DefaultClient.CloseIdleConnections)
 	f := qb5000.New(qb5000.Config{Model: "LR", Horizons: []time.Duration{time.Hour}, Seed: 1})
-	s := New(f)
+	s := NewWithConfig(f, c)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return ts, s
@@ -169,5 +175,157 @@ func TestStatsAndTemplates(t *testing.T) {
 	resp.Body.Close()
 	if len(templates) != 1 || !strings.Contains(templates[0].SQL, "?") {
 		t.Fatalf("templates = %+v", templates)
+	}
+}
+
+// TestStatsAdmissionSection checks that /stats now carries both gates'
+// counters alongside the catalog statistics, and that the embedded catalog
+// fields still decode under their original names for existing clients.
+func TestStatsAdmissionSection(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/observe", "text/plain", strings.NewReader(traceBody()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.TotalQueries == 0 {
+		t.Fatalf("embedded catalog stats lost: %+v", st)
+	}
+	if st.Admission.Observe.Admitted != 1 || st.Admission.Observe.Shed != 0 {
+		t.Fatalf("observe admission stats = %+v", st.Admission.Observe)
+	}
+	if st.Admission.Observe.MaxInflight != 0 {
+		t.Fatalf("unlimited gate reports MaxInflight %d", st.Admission.Observe.MaxInflight)
+	}
+}
+
+// TestObserveBodyLimit checks the /observe body cap: a shipment larger than
+// MaxBodyBytes is cut off mid-stream and answered with 413, while one under
+// the cap ingests normally.
+func TestObserveBodyLimit(t *testing.T) {
+	ts, _ := newTestServerWithConfig(t, Config{MaxBodyBytes: 256})
+
+	line := "2018-05-01T00:00:00Z\tSELECT a FROM t WHERE x = 1\n"
+	big := strings.Repeat(line, 1+256/len(line))
+	resp, err := http.Post(ts.URL+"/observe", "text/plain", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize body status %d, want 413", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ts.URL+"/observe", "text/plain", strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var obs ObserveResult
+	json.NewDecoder(resp.Body).Decode(&obs)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || obs.Ingested != 1 {
+		t.Fatalf("small body status %d, observe %+v", resp.StatusCode, obs)
+	}
+}
+
+// gatedReader is a request body that parks the handler inside its permit:
+// the first Read closes entered (the handler has passed admission and holds
+// the gate), then every Read blocks until release is closed.
+type gatedReader struct {
+	entered chan struct{}
+	release chan struct{}
+	once    sync.Once
+	data    *strings.Reader
+}
+
+func (g *gatedReader) Read(p []byte) (int, error) {
+	g.once.Do(func() { close(g.entered) })
+	<-g.release
+	return g.data.Read(p)
+}
+
+// TestAdmissionSaturation drives a 1-permit /observe gate to saturation: one
+// request parks inside the permit while GOMAXPROCS concurrent ingesters all
+// shed with 429 + Retry-After. The accounting must be exact — every request
+// either admitted or shed, inflight drains to zero — and the shed requests
+// must never reach the catalog.
+func TestAdmissionSaturation(t *testing.T) {
+	ts, s := newTestServerWithConfig(t, Config{MaxInflight: 1})
+
+	holder := &gatedReader{
+		entered: make(chan struct{}),
+		release: make(chan struct{}),
+		data:    strings.NewReader("2018-05-01T00:00:00Z\tSELECT a FROM t\n"),
+	}
+	holderCode := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/observe", "text/plain", holder)
+		if err != nil {
+			holderCode <- -1
+			return
+		}
+		resp.Body.Close()
+		holderCode <- resp.StatusCode
+	}()
+	<-holder.entered // the permit is held; the handler is parked in Read
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	codes := make([]int, workers)
+	retryAfter := make([]string, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/observe", "text/plain",
+				strings.NewReader("2018-05-01T01:00:00Z\tSELECT b FROM u\n"))
+			if err != nil {
+				codes[i] = -1
+				return
+			}
+			resp.Body.Close()
+			codes[i] = resp.StatusCode
+			retryAfter[i] = resp.Header.Get("Retry-After")
+		}(i)
+	}
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusTooManyRequests {
+			t.Errorf("ingester %d status %d, want 429", i, code)
+		}
+		if retryAfter[i] == "" {
+			t.Errorf("ingester %d shed without a Retry-After hint", i)
+		}
+	}
+
+	close(holder.release)
+	if code := <-holderCode; code != http.StatusOK {
+		t.Fatalf("admitted request status %d, want 200", code)
+	}
+
+	st := s.observeGate.Stats()
+	if st.Admitted != 1 || st.Shed != int64(workers) {
+		t.Fatalf("gate stats = %+v, want 1 admitted / %d shed", st, workers)
+	}
+	if st.Inflight != 0 {
+		t.Fatalf("gate still reports %d inflight after drain", st.Inflight)
+	}
+	// Shed requests were answered before a single body byte was parsed: only
+	// the admitted request's one line reached the catalog.
+	if got := s.f.Stats().TotalQueries; got != 1 {
+		t.Fatalf("catalog saw %d queries, want 1 (shed traffic must not ingest)", got)
 	}
 }
